@@ -1,0 +1,385 @@
+(* ppdc — command-line front end.
+
+   Subcommands:
+     topology    inspect a fat-tree PPDC (summary or Graphviz DOT)
+     place       run one VNF placement algorithm on a seeded workload
+     migrate     run one migration algorithm after a traffic redraw
+     simulate    run a diurnal day (or replay a trace) under a policy
+     trace       generate a diurnal workload trace as CSV
+     ilp         export the TOP/TOM MIP in CPLEX-LP format
+     experiment  regenerate one of the paper's tables/figures
+     list        list available experiments *)
+
+open Cmdliner
+module Table = Ppdc_prelude.Table
+module Rng = Ppdc_prelude.Rng
+module Graph = Ppdc_topology.Graph
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Flow = Ppdc_traffic.Flow
+module Workload = Ppdc_traffic.Workload
+module Mode = Ppdc_experiments.Mode
+module Registry = Ppdc_experiments.Registry
+module Runner = Ppdc_experiments.Runner
+module Scenario = Ppdc_sim.Scenario
+module Engine = Ppdc_sim.Engine
+open Ppdc_core
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let k_arg =
+  let doc = "Fat-tree arity k (even). k=8 gives 128 hosts, k=16 gives 1024." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let l_arg =
+  let doc = "Number of communicating VM pairs." in
+  Arg.(value & opt int 100 & info [ "l"; "flows" ] ~docv:"L" ~doc)
+
+let n_arg =
+  let doc = "SFC length (number of VNFs)." in
+  Arg.(value & opt int 5 & info [ "n"; "vnfs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (workloads are fully reproducible)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let mu_arg =
+  let doc = "VNF migration coefficient mu (paper: 1e4..1e5)." in
+  Arg.(value & opt float 1e4 & info [ "mu" ] ~docv:"MU" ~doc)
+
+let weighted_arg =
+  let doc = "Use uniform link delays (mean 1.5, variance 0.5) instead of hop counts." in
+  Arg.(value & flag & info [ "weighted" ] ~doc)
+
+let problem_of ~weighted ~k ~l ~n ~seed =
+  Runner.fat_tree_problem ~weighted ~k ~l ~n ~seed ()
+
+(* --- topology ----------------------------------------------------------- *)
+
+let topology_cmd =
+  let run k dot =
+    let ft, cm = Runner.unweighted_fat_tree k in
+    if dot then
+      print_string (Ppdc_topology.Dot.of_graph ft.Ppdc_topology.Fat_tree.graph)
+    else begin
+    let g = ft.Ppdc_topology.Fat_tree.graph in
+    let table =
+      Table.create ~title:(Printf.sprintf "k=%d fat-tree PPDC" k)
+        ~columns:[ "property"; "value" ]
+    in
+    Table.add_row table [ "switches"; string_of_int (Graph.num_switches g) ];
+    Table.add_row table [ "hosts"; string_of_int (Graph.num_hosts g) ];
+    Table.add_row table [ "links"; string_of_int (Graph.num_edges g) ];
+    Table.add_row table [ "racks"; string_of_int (Ppdc_topology.Fat_tree.num_racks ft) ];
+    Table.add_row table
+      [ "diameter (hops)"; Printf.sprintf "%.0f" (Cost_matrix.diameter cm) ];
+    Table.print table
+    end
+  in
+  let dot_arg =
+    let doc = "Emit the topology as Graphviz DOT instead of a summary." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let doc = "Inspect a fat-tree PPDC topology." in
+  Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ k_arg $ dot_arg)
+
+(* --- place --------------------------------------------------------------- *)
+
+let place_algo_arg =
+  let doc = "Placement algorithm: dp (Algo 3), optimal (Algo 4), steering, greedy." in
+  Arg.(
+    value
+    & opt (enum [ ("dp", `Dp); ("optimal", `Optimal); ("steering", `Steering); ("greedy", `Greedy) ]) `Dp
+    & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let place_cmd =
+  let run k l n seed weighted algo =
+    let problem = problem_of ~weighted ~k ~l ~n ~seed in
+    let rates = Flow.base_rates (Problem.flows problem) in
+    let name, placement, cost =
+      match algo with
+      | `Dp ->
+          let o = Placement_dp.solve problem ~rates () in
+          ("DP (Algo 3)", o.placement, o.cost)
+      | `Optimal ->
+          let o = Placement_opt.solve problem ~rates () in
+          ( (if o.proven_optimal then "Optimal (Algo 4)" else "Optimal* (budget hit)"),
+            o.placement,
+            o.cost )
+      | `Steering ->
+          let o = Ppdc_baselines.Steering.place problem ~rates in
+          ("Steering [55]", o.placement, o.cost)
+      | `Greedy ->
+          let o = Ppdc_baselines.Greedy_liu.place problem ~rates in
+          ("Greedy [34]", o.placement, o.cost)
+    in
+    Format.printf "%s placement: %a@.C_a = %.1f@." name Placement.pp placement
+      cost
+  in
+  let doc = "Place an SFC with one of the TOP algorithms." in
+  Cmd.v (Cmd.info "place" ~doc)
+    Term.(const run $ k_arg $ l_arg $ n_arg $ seed_arg $ weighted_arg $ place_algo_arg)
+
+(* --- migrate -------------------------------------------------------------- *)
+
+let migrate_algo_arg =
+  let doc = "Migration algorithm: mpareto (Algo 5), optimal (Algo 6), plan, mcf, none." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("mpareto", `Mpareto); ("optimal", `Optimal); ("plan", `Plan);
+             ("mcf", `Mcf); ("none", `None) ])
+        `Mpareto
+    & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let migrate_cmd =
+  let run k l n seed weighted mu algo =
+    let problem = problem_of ~weighted ~k ~l ~n ~seed in
+    let rates0 = Flow.base_rates (Problem.flows problem) in
+    let current = (Placement_dp.solve problem ~rates:rates0 ()).placement in
+    let rng = Rng.create (seed + 1000) in
+    let rates = Workload.redraw_rates ~rng (Problem.flows problem) in
+    let stale = Cost.comm_cost problem ~rates current in
+    Format.printf "initial placement: %a@.stale C_a after rate redraw: %.1f@."
+      Placement.pp current stale;
+    (match algo with
+    | `Mpareto ->
+        let o = Mpareto.migrate problem ~rates ~mu ~current () in
+        Format.printf
+          "mPareto: moved %d VNFs, C_b = %.1f, C_a = %.1f, C_t = %.1f@."
+          o.moved o.migration_cost o.comm_cost o.total_cost
+    | `Optimal ->
+        let o = Migration_opt.solve problem ~rates ~mu ~current () in
+        Format.printf "Optimal%s: C_t = %.1f, %d nodes explored@."
+          (if o.proven_optimal then "" else "*")
+          o.cost o.explored
+    | `Plan ->
+        let o = Ppdc_baselines.Plan.migrate problem ~rates ~mu_vm:mu ~placement:current () in
+        Format.printf "PLAN: moved %d VMs, C_b = %.1f, C_a = %.1f, C_t = %.1f@."
+          o.migrations o.migration_cost o.comm_cost o.total_cost
+    | `Mcf ->
+        let o =
+          Ppdc_baselines.Mcf_migration.migrate problem ~rates ~mu_vm:mu
+            ~placement:current ()
+        in
+        Format.printf "MCF: moved %d VMs, C_b = %.1f, C_a = %.1f, C_t = %.1f@."
+          o.migrations o.migration_cost o.comm_cost o.total_cost
+    | `None ->
+        let o = Ppdc_baselines.No_migration.evaluate problem ~rates ~placement:current in
+        Format.printf "NoMigration: C_t = %.1f@." o.total_cost)
+  in
+  let doc = "Migrate after a traffic redraw with one of the TOM algorithms." in
+  Cmd.v (Cmd.info "migrate" ~doc)
+    Term.(
+      const run $ k_arg $ l_arg $ n_arg $ seed_arg $ weighted_arg $ mu_arg
+      $ migrate_algo_arg)
+
+(* --- simulate ------------------------------------------------------------- *)
+
+let policy_arg =
+  let doc =
+    "Migration policy: mpareto, optimal, forecast (mPareto with a perfect \
+     one-hour forecast), plan, mcf, none."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("mpareto", Engine.Mpareto); ("optimal", Engine.Optimal);
+             ("forecast", Engine.Mpareto_lookahead); ("plan", Engine.Plan);
+             ("mcf", Engine.Mcf); ("none", Engine.No_migration) ])
+        Engine.Mpareto
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let trace_cmd =
+  let run k l seed output =
+    let ft, _ = Runner.unweighted_fat_tree k in
+    let rng = Rng.create seed in
+    let flows = Workload.generate_on_fat_tree ~rng ~l ft in
+    let trace =
+      Ppdc_traffic.Trace.of_diurnal Ppdc_traffic.Diurnal.default ~flows
+    in
+    (match output with
+    | Some path ->
+        Ppdc_traffic.Trace.save trace ~path;
+        Printf.printf "wrote %d flows x %d epochs to %s\n"
+          (Ppdc_traffic.Trace.num_flows trace)
+          (Ppdc_traffic.Trace.num_epochs trace)
+          path
+    | None -> print_string (Ppdc_traffic.Trace.to_csv trace))
+  in
+  let output_arg =
+    let doc = "Write the trace to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Generate a diurnal workload trace (CSV) for later replay." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ k_arg $ l_arg $ seed_arg $ output_arg)
+
+let simulate_cmd =
+  let run k l n seed mu policy trace_path =
+    let problem = problem_of ~weighted:false ~k ~l ~n ~seed in
+    let scenario = Scenario.make ~mu problem in
+    let run =
+      match trace_path with
+      | None -> Engine.run_day scenario ~policy
+      | Some path ->
+          let trace = Ppdc_traffic.Trace.load ~path in
+          let flows = trace.Ppdc_traffic.Trace.flows in
+          let problem =
+            Problem.make ~cm:(Problem.cm problem) ~flows
+              ~n:(Problem.n problem) ()
+          in
+          Engine.run_trace (Scenario.make ~mu problem) ~policy ~trace
+    in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "simulated day: %s (k=%d, l=%d, n=%d, mu=%g)"
+             (Engine.policy_name policy) k l n mu)
+        ~columns:[ "hour"; "comm"; "migration"; "moves"; "total" ]
+    in
+    Array.iter
+      (fun (h : Engine.hour_record) ->
+        Table.add_row table
+          [
+            string_of_int h.hour;
+            Printf.sprintf "%.0f" h.comm_cost;
+            Printf.sprintf "%.0f" h.migration_cost;
+            string_of_int h.migrations;
+            Printf.sprintf "%.0f" h.total_cost;
+          ])
+      run.hours;
+    Table.print table;
+    Printf.printf "day total: %.0f (%d migrations)\n" run.total_cost
+      run.total_migrations
+  in
+  let trace_arg =
+    let doc = "Replay a trace file (from $(b,ppdc trace)) instead of the built-in diurnal model; -l and --seed are then ignored for the workload." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Simulate a 12-hour diurnal day under a migration policy." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ k_arg $ l_arg $ n_arg $ seed_arg $ mu_arg $ policy_arg
+      $ trace_arg)
+
+(* --- ilp ------------------------------------------------------------------ *)
+
+let ilp_cmd =
+  let run k l n seed mu tom output =
+    let problem = problem_of ~weighted:false ~k ~l ~n ~seed in
+    let rates = Flow.base_rates (Problem.flows problem) in
+    let lp =
+      if tom then begin
+        let current = (Placement_dp.solve problem ~rates ()).placement in
+        let rng = Rng.create (seed + 1000) in
+        let rates' = Workload.redraw_rates ~rng (Problem.flows problem) in
+        Ilp.tom_lp problem ~rates:rates' ~mu ~current
+      end
+      else Ilp.top_lp problem ~rates
+    in
+    match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc lp;
+        close_out oc;
+        Printf.printf "wrote %s (%d variables, %d constraints)\n" path
+          (Ilp.variable_count problem)
+          (Ilp.constraint_count problem)
+    | None -> print_string lp
+  in
+  let tom_arg =
+    let doc =
+      "Export the TOM instance (after a traffic redraw, migrating from the \
+       DP placement) instead of TOP."
+    in
+    Arg.(value & flag & info [ "tom" ] ~doc)
+  in
+  let output_arg =
+    let doc = "Write the LP document to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Export the instance as a CPLEX-LP MIP for an external solver."
+  in
+  Cmd.v (Cmd.info "ilp" ~doc)
+    Term.(
+      const run $ k_arg $ l_arg $ n_arg $ seed_arg $ mu_arg $ tom_arg
+      $ output_arg)
+
+(* --- experiment / list ------------------------------------------------------ *)
+
+let mode_arg =
+  let doc = "Experiment scale: quick or full (paper-scale parameters)." in
+  Arg.(
+    value
+    & opt (enum [ ("quick", Mode.Quick); ("full", Mode.Full) ]) (Mode.of_env ())
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let experiment_cmd =
+  let slug title =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+        | _ -> '-')
+      title
+  in
+  let run mode id csv_dir =
+    match Registry.find id with
+    | Some e ->
+        let tables = e.run mode in
+        List.iter Table.print tables;
+        (match csv_dir with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iteri
+              (fun i t ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "%s-%d-%s.csv" e.id i
+                       (String.sub (slug (Table.title t)) 0
+                          (min 40 (String.length (Table.title t)))))
+                in
+                let oc = open_out path in
+                output_string oc (Table.to_csv t);
+                close_out oc;
+                Printf.printf "wrote %s\n" path)
+              tables)
+    | None ->
+        Printf.eprintf "unknown experiment %S; try: %s\n" id
+          (String.concat ", " (Registry.ids ()));
+        exit 1
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let csv_arg =
+    let doc = "Also write each table as CSV into $(docv) (created if missing)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let doc = "Regenerate one of the paper's tables or figures." in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ mode_arg $ id_arg $ csv_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) -> Printf.printf "%-15s %s\n" e.id e.summary)
+      Registry.all
+  in
+  let doc = "List the available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "traffic-optimal VNF placement and migration in dynamic PPDCs" in
+  let info = Cmd.info "ppdc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            topology_cmd; place_cmd; migrate_cmd; simulate_cmd; trace_cmd;
+            ilp_cmd; experiment_cmd; list_cmd;
+          ]))

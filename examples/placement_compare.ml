@@ -1,0 +1,56 @@
+(* Placement algorithm shoot-out on one workload (a Fig. 9-style single
+   instance).
+
+   Places the same SFC with all four TOP algorithms — Optimal (Algo 4),
+   DP (Algo 3), Greedy [34], Steering [55] — plus a random placement for
+   scale, and shows each one's Eq. 1 cost and gap to optimal.
+
+   Run with: dune exec examples/placement_compare.exe *)
+
+module Table = Ppdc_prelude.Table
+module Rng = Ppdc_prelude.Rng
+module Fat_tree = Ppdc_topology.Fat_tree
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Workload = Ppdc_traffic.Workload
+module Flow = Ppdc_traffic.Flow
+open Ppdc_core
+open Ppdc_baselines
+
+let () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let rng = Rng.create 3 in
+  let flows = Workload.generate_on_fat_tree ~rng ~l:15 ft in
+  let problem = Problem.make ~cm ~flows ~n:5 () in
+  let rates = Flow.base_rates flows in
+  let optimal = Placement_opt.solve problem ~rates () in
+  let entries =
+    [
+      ( (if optimal.proven_optimal then "Optimal (Algo 4)" else "Optimal*"),
+        optimal.placement,
+        optimal.cost );
+      (let o = Placement_dp.solve problem ~rates () in
+       ("DP (Algo 3)", o.placement, o.cost));
+      (let o = Greedy_liu.place problem ~rates in
+       ("Greedy [34]", o.placement, o.cost));
+      (let o = Steering.place problem ~rates in
+       ("Steering [55]", o.placement, o.cost));
+      (let p = Placement.random ~rng problem in
+       ("Random", p, Cost.comm_cost problem ~rates p));
+    ]
+  in
+  let table =
+    Table.create ~title:"TOP algorithms on one workload (k=4, l=15, n=5)"
+      ~columns:[ "algorithm"; "placement"; "C_a"; "vs optimal" ]
+  in
+  List.iter
+    (fun (name, placement, cost) ->
+      Table.add_row table
+        [
+          name;
+          Format.asprintf "%a" Placement.pp placement;
+          Printf.sprintf "%.0f" cost;
+          Printf.sprintf "+%.1f%%" (100.0 *. ((cost /. optimal.cost) -. 1.0));
+        ])
+    entries;
+  Table.print table

@@ -1,0 +1,46 @@
+open Ppdc_core
+
+type outcome = { placement : Placement.t; cost : float }
+
+let place problem ~rates =
+  let att = Cost.attach problem ~rates in
+  let switches = Problem.switches problem in
+  let k = Array.length switches in
+  let n = Problem.n problem in
+  (* Average distance from each switch to all switches: the "weighted
+     average delay of all unplaced MBs" proxy. *)
+  let avg_dist = Array.make (Ppdc_topology.Graph.num_nodes (Problem.graph problem)) 0.0 in
+  Array.iter
+    (fun s ->
+      let total =
+        Array.fold_left (fun acc t -> acc +. Problem.cost problem s t) 0.0 switches
+      in
+      avg_dist.(s) <- total /. float_of_int k)
+    switches;
+  let used = Hashtbl.create n in
+  let placement = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    let unplaced_after = n - 1 - j in
+    let best = ref infinity and best_switch = ref (-1) in
+    Array.iter
+      (fun s ->
+        if not (Hashtbl.mem used s) then begin
+          let direct =
+            (if j = 0 then att.a_in.(s)
+             else att.total_rate *. Problem.cost problem placement.(j - 1) s)
+            +. if j = n - 1 then att.a_out.(s) else 0.0
+          in
+          let lookahead =
+            float_of_int unplaced_after *. att.total_rate *. avg_dist.(s)
+          in
+          let score = direct +. lookahead in
+          if score < !best then begin
+            best := score;
+            best_switch := s
+          end
+        end)
+      switches;
+    placement.(j) <- !best_switch;
+    Hashtbl.add used !best_switch ()
+  done;
+  { placement; cost = Cost.comm_cost_with_attach problem att placement }

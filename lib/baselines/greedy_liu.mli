@@ -1,0 +1,17 @@
+(** Greedy [Liu et al., IEEE TSC 2017] — VNF placement baseline.
+
+    Liu et al. sort middleboxes by importance factor (the number of
+    policies that traverse them — identical for every VNF of a single
+    SFC, so chain order is kept) and then place each at the switch with
+    the minimum *cost score*: the increment of the total end-to-end delay
+    caused by resting the middlebox there, plus the weighted average
+    delay from there to the still-unplaced middleboxes. We realize the
+    look-ahead term as [(#unplaced) · Λ · avg_s' c(s, s')]: the expected
+    cost of the remaining chain hops if future VNFs land on an average
+    switch. The look-ahead spreads placements more than Steering, but
+    the score is still myopic about the actual future locations. *)
+
+type outcome = { placement : Ppdc_core.Placement.t; cost : float }
+
+val place : Ppdc_core.Problem.t -> rates:float array -> outcome
+(** [cost] is the exact [C_a] (Eq. 1) of the greedy result. *)

@@ -1,0 +1,8 @@
+open Ppdc_core
+
+type outcome = { comm_cost : float; total_cost : float }
+
+let evaluate problem ~rates ~placement =
+  Placement.validate problem placement;
+  let comm_cost = Cost.comm_cost problem ~rates placement in
+  { comm_cost; total_cost = comm_cost }

@@ -1,0 +1,14 @@
+(** NoMigration — the do-nothing baseline of Fig. 11(c)/(d).
+
+    Keeps the initial VNF placement for the PPDC's whole lifetime; the
+    only cost is the communication cost of the stale placement under the
+    current rates. The gap between this and mPareto is the paper's
+    headline "up to 73% traffic reduction". *)
+
+type outcome = { comm_cost : float; total_cost : float }
+
+val evaluate :
+  Ppdc_core.Problem.t ->
+  rates:float array ->
+  placement:Ppdc_core.Placement.t ->
+  outcome

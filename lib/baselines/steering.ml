@@ -1,0 +1,37 @@
+open Ppdc_core
+
+type outcome = { placement : Placement.t; cost : float }
+
+(* Steering picks the service with the highest dependency degree and
+   places it at its individually best location — the switch minimizing
+   the average delay between the service and the VM traffic that uses
+   it. Crucially, the location choice is *chain-oblivious*: it scores a
+   switch by the flows' attachment delays only, never by where the
+   neighbouring services of the chain ended up. With a single SFC all
+   dependency degrees are equal, so services are processed in chain
+   order, and every VNF gravitates to the same traffic-weighted median
+   region of the fabric — on distinct switches — leaving the chain to
+   zig-zag between them. That myopia is exactly what Figs. 9/10 charge
+   it for. *)
+let place problem ~rates =
+  let att = Cost.attach problem ~rates in
+  let switches = Problem.switches problem in
+  let n = Problem.n problem in
+  let used = Hashtbl.create n in
+  let placement = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    let best = ref infinity and best_switch = ref (-1) in
+    Array.iter
+      (fun s ->
+        if not (Hashtbl.mem used s) then begin
+          let average_delay = att.a_in.(s) +. att.a_out.(s) in
+          if average_delay < !best then begin
+            best := average_delay;
+            best_switch := s
+          end
+        end)
+      switches;
+    placement.(j) <- !best_switch;
+    Hashtbl.add used !best_switch ()
+  done;
+  { placement; cost = Cost.comm_cost_with_attach problem att placement }

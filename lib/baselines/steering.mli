@@ -1,0 +1,19 @@
+(** Steering [Zhang et al., ICNP 2013] — VNF placement baseline.
+
+    Steering repeatedly picks the service with the highest dependency
+    degree (the traffic flowing between consecutive services of requested
+    chains) and places it at its individually best location — the switch
+    minimizing the average delay between the service and the VM traffic
+    using it. The location choice is *chain-oblivious*: it never looks at
+    where the neighbouring services of the chain landed. With a single
+    SFC every dependency degree is equal, so services are processed in
+    chain order and each is dropped at the best unused traffic-weighted
+    median switch [argmin A_in(s) + A_out(s)]; the chain then zig-zags
+    between those median switches, which is what Figs. 9/10 charge it
+    for. *)
+
+type outcome = { placement : Ppdc_core.Placement.t; cost : float }
+
+val place : Ppdc_core.Problem.t -> rates:float array -> outcome
+(** Greedy one-by-one placement; [cost] is the exact [C_a] (Eq. 1) of the
+    result. *)

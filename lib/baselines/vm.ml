@@ -1,0 +1,61 @@
+open Ppdc_core
+module Flow = Ppdc_traffic.Flow
+module Graph = Ppdc_topology.Graph
+
+type endpoint = Src | Dst
+
+type t = { flow : int; endpoint : endpoint }
+
+let all problem =
+  let l = Problem.num_flows problem in
+  Array.init (2 * l) (fun i ->
+      if i < l then { flow = i; endpoint = Src }
+      else { flow = i - l; endpoint = Dst })
+
+let host flows vm =
+  let f = flows.(vm.flow) in
+  match vm.endpoint with Src -> f.Flow.src_host | Dst -> f.Flow.dst_host
+
+let comm_leg problem ~rates ~placement ~vm ~at =
+  let n = Array.length placement in
+  let rate = rates.(vm.flow) in
+  match vm.endpoint with
+  | Src -> rate *. Problem.cost problem at placement.(0)
+  | Dst -> rate *. Problem.cost problem placement.(n - 1) at
+
+let occupancy problem flows =
+  let g = Problem.graph problem in
+  let occ = Array.make (Graph.num_nodes g) 0 in
+  Array.iter
+    (fun (f : Flow.t) ->
+      occ.(f.src_host) <- occ.(f.src_host) + 1;
+      occ.(f.dst_host) <- occ.(f.dst_host) + 1)
+    flows;
+  occ
+
+let default_capacity problem =
+  let g = Problem.graph problem in
+  let flows = Problem.flows problem in
+  let vms = 2 * Array.length flows in
+  let hosts = Graph.num_hosts g in
+  let average = (vms + hosts - 1) / hosts in
+  let occ = occupancy problem flows in
+  let current_max = Array.fold_left max 0 occ in
+  max (2 * average) current_max
+
+let move flows ~vm ~to_host =
+  let flows = Array.copy flows in
+  let f = flows.(vm.flow) in
+  flows.(vm.flow) <-
+    (match vm.endpoint with
+    | Src -> { f with Flow.src_host = to_host }
+    | Dst -> { f with Flow.dst_host = to_host });
+  flows
+
+type outcome = {
+  flows : Flow.t array;
+  migrations : int;
+  migration_cost : float;
+  comm_cost : float;
+  total_cost : float;
+}

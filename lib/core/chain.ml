@@ -1,0 +1,57 @@
+type vnf_kind = Access | Application
+
+type t = { vnf_names : string array; kinds : vnf_kind array }
+
+(* Standard data-center SFC catalogue (IETF SFC use-cases draft): access
+   functions guard the perimeter, application functions optimize
+   delivery. *)
+let catalogue =
+  [|
+    ("firewall", Access);
+    ("ids", Access);
+    ("nat", Access);
+    ("vpn-gateway", Access);
+    ("dpi", Access);
+    ("ddos-scrubber", Access);
+    ("cache-proxy", Application);
+    ("load-balancer", Application);
+    ("wan-optimizer", Application);
+    ("tls-terminator", Application);
+    ("video-transcoder", Application);
+    ("http-header-enricher", Application);
+    ("packet-monitor", Application);
+  |]
+
+let classify name =
+  match Array.find_opt (fun (n, _) -> n = name) catalogue with
+  | Some (_, k) -> k
+  | None -> Application
+
+let make vnf_names =
+  if Array.length vnf_names = 0 then invalid_arg "Chain.make: empty chain";
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Chain.make: duplicate VNF %S" n);
+      Hashtbl.add seen n ())
+    vnf_names;
+  { vnf_names = Array.copy vnf_names; kinds = Array.map classify vnf_names }
+
+let typical n =
+  if n < 1 || n > Array.length catalogue then
+    invalid_arg
+      (Printf.sprintf "Chain.typical: n must be in [1, %d]"
+         (Array.length catalogue));
+  make (Array.init n (fun i -> fst catalogue.(i)))
+
+let length c = Array.length c.vnf_names
+
+let name c j = c.vnf_names.(j)
+
+let kind c j = c.kinds.(j)
+
+let names c = Array.copy c.vnf_names
+
+let pp fmt c =
+  Format.fprintf fmt "%s" (String.concat " -> " (Array.to_list c.vnf_names))

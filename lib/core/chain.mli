@@ -1,0 +1,35 @@
+(** Service function chains (SFCs).
+
+    An SFC [(f_1, ..., f_n)] is an ordered sequence of VNFs that every VM
+    flow must traverse in order; [f_1] is the ingress VNF and [f_n] the
+    egress VNF. Real-world chains combine *access* functions (firewall,
+    IDS, ...) and *application* functions (cache, load balancer, ...); a
+    typical chain has 5–6 access plus 4–5 application functions, which is
+    why the paper evaluates up to n = 13. *)
+
+type vnf_kind = Access | Application
+
+type t
+
+val make : string array -> t
+(** A chain with the given VNF names, in traversal order. Raises
+    [Invalid_argument] on an empty array or duplicate names. *)
+
+val typical : int -> t
+(** [typical n] is a realistic n-VNF chain drawn from the standard
+    catalogue (firewall, IDS, NAT, WAN optimizer, proxy, cache, load
+    balancer, DPI, ...), access functions first. Supports
+    [1 <= n <= 13]. *)
+
+val length : t -> int
+(** The [n] of the chain. *)
+
+val name : t -> int -> string
+(** [name c j] is the name of [f_{j+1}] (0-based index). *)
+
+val kind : t -> int -> vnf_kind
+
+val names : t -> string array
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [f1 -> f2 -> ... -> fn]. *)

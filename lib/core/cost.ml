@@ -1,0 +1,82 @@
+module Flow = Ppdc_traffic.Flow
+
+type attach = {
+  a_in : float array;
+  a_out : float array;
+  total_rate : float;
+}
+
+let check_rates problem rates =
+  if Array.length rates <> Problem.num_flows problem then
+    invalid_arg "Cost: rate vector length mismatch";
+  Array.iter
+    (fun r ->
+      if r < 0.0 || not (Float.is_finite r) then
+        invalid_arg "Cost: rates must be finite and non-negative")
+    rates
+
+let attach problem ~rates =
+  check_rates problem rates;
+  let g = Problem.graph problem in
+  let num_nodes = Ppdc_topology.Graph.num_nodes g in
+  let a_in = Array.make num_nodes 0.0 in
+  let a_out = Array.make num_nodes 0.0 in
+  let flows = Problem.flows problem in
+  let switches = Problem.switches problem in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun (f : Flow.t) ->
+          let rate = rates.(f.id) in
+          a_in.(s) <- a_in.(s) +. (rate *. Problem.cost problem f.src_host s);
+          a_out.(s) <- a_out.(s) +. (rate *. Problem.cost problem s f.dst_host))
+        flows)
+    switches;
+  { a_in; a_out; total_rate = Flow.total_rate rates }
+
+let chain_cost problem p =
+  let acc = ref 0.0 in
+  for j = 0 to Array.length p - 2 do
+    acc := !acc +. Problem.cost problem p.(j) p.(j + 1)
+  done;
+  !acc
+
+let comm_cost_with_attach problem att p =
+  let n = Array.length p in
+  att.a_in.(p.(0)) +. (att.total_rate *. chain_cost problem p)
+  +. att.a_out.(p.(n - 1))
+
+let comm_cost problem ~rates p =
+  check_rates problem rates;
+  let flows = Problem.flows problem in
+  let n = Array.length p in
+  let internal = chain_cost problem p in
+  Array.fold_left
+    (fun acc (f : Flow.t) ->
+      let rate = rates.(f.id) in
+      acc
+      +. (rate
+          *. (Problem.cost problem f.src_host p.(0)
+              +. internal
+              +. Problem.cost problem p.(n - 1) f.dst_host)))
+    0.0 flows
+
+let migration_cost problem ~mu ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Cost.migration_cost: placement length mismatch";
+  if mu < 0.0 then invalid_arg "Cost.migration_cost: negative mu";
+  let acc = ref 0.0 in
+  for j = 0 to Array.length src - 1 do
+    acc := !acc +. Problem.cost problem src.(j) dst.(j)
+  done;
+  mu *. !acc
+
+let total_cost problem ~rates ~mu ~src ~dst =
+  migration_cost problem ~mu ~src ~dst +. comm_cost problem ~rates dst
+
+let moved ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Cost.moved: placement length mismatch";
+  let count = ref 0 in
+  Array.iteri (fun j s -> if s <> dst.(j) then incr count) src;
+  !count

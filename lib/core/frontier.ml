@@ -1,0 +1,29 @@
+module Cost_matrix = Ppdc_topology.Cost_matrix
+
+let migration_paths problem ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Frontier.migration_paths: placement length mismatch";
+  let cm = Problem.cm problem in
+  Array.init (Array.length src) (fun j ->
+      if src.(j) = dst.(j) then [| src.(j) |]
+      else
+        Array.of_list (Cost_matrix.switch_path cm ~src:src.(j) ~dst:dst.(j)))
+
+let parallel paths =
+  let n = Array.length paths in
+  let h_max = Array.fold_left (fun acc s -> max acc (Array.length s)) 1 paths in
+  Array.init h_max (fun i ->
+      Array.init n (fun j ->
+          let s = paths.(j) in
+          s.(min i (Array.length s - 1))))
+
+let has_collision frontier =
+  let seen = Hashtbl.create (Array.length frontier) in
+  Array.exists
+    (fun s ->
+      if Hashtbl.mem seen s then true
+      else begin
+        Hashtbl.add seen s ();
+        false
+      end)
+    frontier

@@ -1,0 +1,26 @@
+(** VNF migration frontiers (Definitions 1 and 2 of the paper).
+
+    When VNF [f_j] migrates from [p(j)] towards [p'(j)], it moves along
+    the cheapest path between them; [S_j] is the sequence of switches on
+    that path ([S_j = [p(j)]] when the VNF stays). A *migration frontier*
+    picks one switch from each [S_j]; the [h_max = max_j |S_j|] *parallel
+    frontiers* advance all VNFs in lock-step — row 0 is [p] (no
+    migration), the last row is [p'] (full migration) — and are the
+    candidate set Algo. 5 scans. *)
+
+val migration_paths :
+  Problem.t -> src:Placement.t -> dst:Placement.t -> int array array
+(** [migration_paths problem ~src ~dst] returns [S_1 .. S_n]:
+    [S_j] is the switch sequence of the cheapest [src.(j) → dst.(j)]
+    path (inclusive; a single element when the VNF does not move).
+    Raises [Invalid_argument] on length mismatch. *)
+
+val parallel : int array array -> int array array
+(** [parallel paths] is the [h_max × n] matrix of parallel frontiers:
+    row [i], column [j] is [S_j]'s switch [min(i, h_j - 1)]. Row 0
+    equals the source placement and row [h_max - 1] the destination. *)
+
+val has_collision : int array -> bool
+(** Whether a frontier places two VNFs on the same switch — transiently
+    possible mid-migration, but invalid as a resting placement under the
+    one-VNF-per-switch model. *)

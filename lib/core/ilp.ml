@@ -1,0 +1,131 @@
+(* LP-format writer. Variable naming: x_j_s (VNF j on switch s, both by
+   index: s indexes Problem.switches, not raw node ids) and y_j_s_t
+   (consecutive pair linearization). *)
+
+let x j s = Printf.sprintf "x_%d_%d" j s
+
+let y j s t = Printf.sprintf "y_%d_%d_%d" j s t
+
+let variable_count problem =
+  let n = Problem.n problem in
+  let k = Array.length (Problem.switches problem) in
+  (n * k) + ((n - 1) * k * k)
+
+let constraint_count problem =
+  let n = Problem.n problem in
+  let k = Array.length (Problem.switches problem) in
+  (* one-switch-per-VNF (n) + one-VNF-per-switch (k) + three McCormick
+     rows per y variable. *)
+  n + k + (3 * (n - 1) * k * k)
+
+let emit problem ~rates ~migration_term =
+  let att = Cost.attach problem ~rates in
+  let switches = Problem.switches problem in
+  let k = Array.length switches in
+  let n = Problem.n problem in
+  let buffer = Buffer.create 4096 in
+  let add = Buffer.add_string buffer in
+  (* Objective: accumulate coefficients per variable first, so a
+     variable that picks up several contributions (e.g. x_0_s when
+     n = 1 carries both attachments) appears exactly once. *)
+  add "\\ TOP/TOM exported by ppdc (Eq. 1 / Eq. 8 assignment form)\n";
+  add "Minimize\n obj:";
+  let order = ref [] in
+  let coefficients = Hashtbl.create 256 in
+  let term coefficient name =
+    if coefficient <> 0.0 then begin
+      if not (Hashtbl.mem coefficients name) then order := name :: !order;
+      Hashtbl.replace coefficients name
+        (coefficient
+        +. Option.value (Hashtbl.find_opt coefficients name) ~default:0.0)
+    end
+  in
+  Array.iteri
+    (fun si s ->
+      term att.a_in.(s) (x 0 si);
+      term att.a_out.(s) (x (n - 1) si);
+      for j = 0 to n - 1 do
+        term (migration_term j s) (x j si)
+      done)
+    switches;
+  for j = 0 to n - 2 do
+    Array.iteri
+      (fun si s ->
+        Array.iteri
+          (fun ti t ->
+            term (att.total_rate *. Problem.cost problem s t) (y j si ti))
+          switches)
+      switches
+  done;
+  let started = ref false in
+  List.iter
+    (fun name ->
+      let coefficient = Hashtbl.find coefficients name in
+      if !started then
+        add
+          (Printf.sprintf " %s %.12g %s"
+             (if coefficient >= 0.0 then "+" else "-")
+             (Float.abs coefficient) name)
+      else begin
+        add (Printf.sprintf " %.12g %s" coefficient name);
+        started := true
+      end)
+    (List.rev !order);
+  add "\nSubject To\n";
+  (* Each VNF on exactly one switch. *)
+  for j = 0 to n - 1 do
+    add (Printf.sprintf " vnf_%d:" j);
+    for si = 0 to k - 1 do
+      add (Printf.sprintf " %s%s" (if si = 0 then "" else "+ ") (x j si))
+    done;
+    add " = 1\n"
+  done;
+  (* Each switch hosts at most one VNF. *)
+  for si = 0 to k - 1 do
+    add (Printf.sprintf " switch_%d:" si);
+    for j = 0 to n - 1 do
+      add (Printf.sprintf " %s%s" (if j = 0 then "" else "+ ") (x j si))
+    done;
+    add " <= 1\n"
+  done;
+  (* McCormick linearization of the consecutive products. *)
+  for j = 0 to n - 2 do
+    for si = 0 to k - 1 do
+      for ti = 0 to k - 1 do
+        add
+          (Printf.sprintf " mc_a_%d_%d_%d: %s - %s - %s >= -1\n" j si ti
+             (y j si ti) (x j si) (x (j + 1) ti));
+        add
+          (Printf.sprintf " mc_b_%d_%d_%d: %s - %s <= 0\n" j si ti (y j si ti)
+             (x j si));
+        add
+          (Printf.sprintf " mc_c_%d_%d_%d: %s - %s <= 0\n" j si ti (y j si ti)
+             (x (j + 1) ti))
+      done
+    done
+  done;
+  (* Bounds for the continuous linearization variables; binaries below. *)
+  add "Bounds\n";
+  for j = 0 to n - 2 do
+    for si = 0 to k - 1 do
+      for ti = 0 to k - 1 do
+        add (Printf.sprintf " 0 <= %s <= 1\n" (y j si ti))
+      done
+    done
+  done;
+  add "Binaries\n";
+  for j = 0 to n - 1 do
+    for si = 0 to k - 1 do
+      add (Printf.sprintf " %s\n" (x j si))
+    done
+  done;
+  add "End\n";
+  Buffer.contents buffer
+
+let top_lp problem ~rates = emit problem ~rates ~migration_term:(fun _ _ -> 0.0)
+
+let tom_lp problem ~rates ~mu ~current =
+  Placement.validate problem current;
+  if mu < 0.0 then invalid_arg "Ilp.tom_lp: negative mu";
+  emit problem ~rates ~migration_term:(fun j s ->
+      mu *. Problem.cost problem current.(j) s)

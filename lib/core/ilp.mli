@@ -1,0 +1,32 @@
+(** ILP export (CPLEX LP file format).
+
+    The related work the paper contrasts with solves TOP/TOM-style
+    problems as ILPs "which lack scalability"; this module emits those
+    formulations so they can be fed to an external solver (CPLEX,
+    Gurobi, HiGHS, SCIP all read the LP format) — to sanity-check the
+    branch-and-bound optimum, or to experience the scalability cliff
+    first-hand.
+
+    Formulation (assignment form): binaries [x_j_s] = "VNF j rests on
+    switch s", with one-switch-per-VNF and one-VNF-per-switch
+    constraints. The chain-internal term [c(p(j), p(j+1))] is quadratic
+    in x, linearized with [y_j_s_t = x_j_s · x_{j+1}_t]
+    (McCormick: [y ≥ x_j_s + x_{j+1}_t − 1], [y ≤ x_j_s],
+    [y ≤ x_{j+1}_t], [y ≥ 0]). The TOM variant adds the linear
+    migration term [μ · c(current(j), s) · x_j_s].
+
+    Variable count: [n·|V_s| + (n−1)·|V_s|²] — the quadratic blow-up is
+    the scalability wall the paper's DP sidesteps. *)
+
+val top_lp : Problem.t -> rates:float array -> string
+(** The TOP instance as an LP document. *)
+
+val tom_lp :
+  Problem.t -> rates:float array -> mu:float -> current:Placement.t -> string
+(** The TOM instance (Eq. 8) as an LP document. *)
+
+val variable_count : Problem.t -> int
+(** Number of variables either export declares. *)
+
+val constraint_count : Problem.t -> int
+(** Number of constraint rows either export declares. *)

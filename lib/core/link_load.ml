@@ -1,0 +1,64 @@
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Graph = Ppdc_topology.Graph
+module Flow = Ppdc_traffic.Flow
+
+type t = {
+  graph : Graph.t;
+  loads : (int * int, float) Hashtbl.t;  (* key: (min u v, max u v) *)
+}
+
+let key u v = (min u v, max u v)
+
+let add_path t ~rate path =
+  let rec walk = function
+    | u :: (v :: _ as rest) ->
+        let k = key u v in
+        Hashtbl.replace t.loads k
+          (rate +. Option.value (Hashtbl.find_opt t.loads k) ~default:0.0);
+        walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk path
+
+let compute problem ~rates placement =
+  Placement.validate problem placement;
+  let cm = Problem.cm problem in
+  let t = { graph = Problem.graph problem; loads = Hashtbl.create 256 } in
+  let n = Array.length placement in
+  Array.iter
+    (fun (f : Flow.t) ->
+      let rate = rates.(f.id) in
+      if rate > 0.0 then begin
+        (* Legs: src -> p(1), p(j) -> p(j+1), p(n) -> dst. *)
+        add_path t ~rate (Cost_matrix.path cm ~src:f.src_host ~dst:placement.(0));
+        for j = 0 to n - 2 do
+          add_path t ~rate
+            (Cost_matrix.path cm ~src:placement.(j) ~dst:placement.(j + 1))
+        done;
+        add_path t ~rate
+          (Cost_matrix.path cm ~src:placement.(n - 1) ~dst:f.dst_host)
+      end)
+    (Problem.flows problem);
+  t
+
+let load t u v =
+  Option.value (Hashtbl.find_opt t.loads (key u v)) ~default:0.0
+
+let max_load t = Hashtbl.fold (fun _ l acc -> Float.max l acc) t.loads 0.0
+
+let mean_load t =
+  let total = Hashtbl.fold (fun _ l acc -> acc +. l) t.loads 0.0 in
+  total /. float_of_int (Graph.num_edges t.graph)
+
+let weighted_total t =
+  Hashtbl.fold
+    (fun (u, v) l acc ->
+      match Graph.edge_weight t.graph u v with
+      | Some w -> acc +. (l *. w)
+      | None -> acc)
+    t.loads 0.0
+
+let hottest t k =
+  Hashtbl.fold (fun (u, v) l acc -> (u, v, l) :: acc) t.loads []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < k)

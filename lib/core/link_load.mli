@@ -1,0 +1,33 @@
+(** Per-link traffic loads induced by a placement.
+
+    The paper assumes link bandwidth is never binding ("links are
+    generally provisioned around 40% of utilization"); this module makes
+    that assumption checkable: route every flow's policy-preserving walk
+    — source host → p(1) → ... → p(n) → destination host, each leg along
+    the cheapest path — and accumulate each flow's rate on every link it
+    crosses.
+
+    Invariant (tested): [Σ_e load(e) · w(e) = C_a(p)] — the cost model
+    of Eq. 1 is exactly the weight-weighted sum of link loads. *)
+
+type t
+
+val compute : Problem.t -> rates:float array -> Placement.t -> t
+(** Route all flows under the placement. O(l · n · D) where D is the
+    network diameter. *)
+
+val load : t -> int -> int -> float
+(** [load t u v] is the total rate crossing the (undirected) link
+    [(u, v)]; 0 for absent links. *)
+
+val max_load : t -> float
+(** The hottest link's load. *)
+
+val mean_load : t -> float
+(** Mean load over all links of the graph (including idle ones). *)
+
+val weighted_total : t -> float
+(** [Σ_e load(e) · w(e)] — equals [C_a] (Eq. 1). *)
+
+val hottest : t -> int -> (int * int * float) list
+(** The [k] most loaded links as [(u, v, load)], descending. *)

@@ -1,0 +1,27 @@
+(** Algo. 6 — optimal VNF migration (the "Optimal" benchmark for TOM).
+
+    Minimizes [C_t(p, m) = μ·Σ c(p(j), m(j)) + C_a(m)] over all valid
+    placements [m], with the same branch-and-bound machinery as
+    {!Placement_opt} plus the per-position migration term (whose
+    admissible lower bound is 0, attained by leaving the VNF in place).
+    The incumbent is seeded with the mPareto solution, so within budget
+    the result is provably optimal and never worse than mPareto. *)
+
+type outcome = {
+  migration : Placement.t;
+  cost : float;  (** [C_t(p, migration)] *)
+  proven_optimal : bool;
+  explored : int;
+}
+
+val solve :
+  Problem.t ->
+  rates:float array ->
+  mu:float ->
+  current:Placement.t ->
+  ?budget:int ->
+  ?incumbent:Placement.t ->
+  unit ->
+  outcome
+(** [budget] defaults to 20 million search nodes; [incumbent] defaults to
+    the mPareto frontier solution. *)

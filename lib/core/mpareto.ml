@@ -1,0 +1,70 @@
+type point = {
+  frontier : int array;
+  migration_cost : float;
+  comm_cost : float;
+  collides : bool;
+}
+
+type outcome = {
+  migration : Placement.t;
+  total_cost : float;
+  migration_cost : float;
+  comm_cost : float;
+  moved : int;
+  target : Placement.t;
+  points : point list;
+}
+
+let migrate problem ~rates ~mu ~current ?(collisions = `Skip) ?rescore
+    ?pair_limit () =
+  Placement.validate problem current;
+  let att = Cost.attach problem ~rates in
+  let target =
+    (Placement_dp.solve problem ~rates ?rescore ?pair_limit ()).placement
+  in
+  let paths = Frontier.migration_paths problem ~src:current ~dst:target in
+  let rows = Frontier.parallel paths in
+  let evaluate frontier =
+    {
+      frontier;
+      migration_cost = Cost.migration_cost problem ~mu ~src:current ~dst:frontier;
+      comm_cost = Cost.comm_cost_with_attach problem att frontier;
+      collides = Frontier.has_collision frontier;
+    }
+  in
+  let points = Array.to_list (Array.map evaluate rows) in
+  (* A frontier row is a legal resting placement only if it is collision-
+     free AND every switch is a candidate of the (possibly restricted)
+     instance — migration paths may transit foreign switches, but VNFs
+     may not stop on them. *)
+  let eligible p =
+    match collisions with
+    | `Allow -> true
+    | `Skip -> (not p.collides) && Placement.is_valid problem p.frontier
+  in
+  let best =
+    List.fold_left
+      (fun acc p ->
+        if not (eligible p) then acc
+        else
+          let total = p.migration_cost +. p.comm_cost in
+          match acc with
+          | Some (best_total, _) when best_total <= total -> acc
+          | _ -> Some (total, p))
+      None points
+  in
+  match best with
+  | None ->
+      (* Row 0 never collides (it is the current valid placement), so
+         this is unreachable; keep the typechecker honest. *)
+      assert false
+  | Some (total, p) ->
+      {
+        migration = p.frontier;
+        total_cost = total;
+        migration_cost = p.migration_cost;
+        comm_cost = p.comm_cost;
+        moved = Cost.moved ~src:current ~dst:p.frontier;
+        target;
+        points;
+      }

@@ -1,0 +1,40 @@
+module Graph = Ppdc_topology.Graph
+module Rng = Ppdc_prelude.Rng
+
+type t = int array
+
+let validate problem p =
+  let n = Problem.n problem in
+  if Array.length p <> n then
+    invalid_arg
+      (Printf.sprintf "Placement.validate: length %d, expected %d"
+         (Array.length p) n);
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun s ->
+      if not (Problem.is_candidate problem s) then
+        invalid_arg
+          (Printf.sprintf "Placement.validate: %d is not a candidate switch" s);
+      if Hashtbl.mem seen s then
+        invalid_arg
+          (Printf.sprintf "Placement.validate: switch %d used twice" s);
+      Hashtbl.add seen s ())
+    p
+
+let is_valid problem p =
+  match validate problem p with
+  | () -> true
+  | exception Invalid_argument _ -> false
+
+let equal = ( = )
+
+let random ~rng problem =
+  let switches = Problem.switches problem in
+  Rng.shuffle rng switches;
+  Array.sub switches 0 (Problem.n problem)
+
+let pp fmt p =
+  Format.fprintf fmt "[%s]"
+    (String.concat " "
+       (List.mapi (fun j s -> Printf.sprintf "f%d@s%d" (j + 1) s)
+          (Array.to_list p)))

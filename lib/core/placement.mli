@@ -1,0 +1,23 @@
+(** VNF placement functions.
+
+    A placement [p : {f_1..f_n} → V_s] is represented as an [int array] of
+    length [n]: [p.(j)] is the switch hosting VNF [f_{j+1}]. Per the
+    paper's model, the VNFs of a chain occupy distinct switches (each
+    switch's attached server runs one VNF). *)
+
+type t = int array
+
+val validate : Problem.t -> t -> unit
+(** Raises [Invalid_argument] unless the array has length [n], every
+    entry is a switch of the graph, and entries are pairwise distinct. *)
+
+val is_valid : Problem.t -> t -> bool
+
+val equal : t -> t -> bool
+
+val random : rng:Ppdc_prelude.Rng.t -> Problem.t -> t
+(** Uniformly random valid placement — useful as a baseline starting
+    point and in property tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [[f1@s3 f2@s7 ...]]. *)

@@ -1,0 +1,117 @@
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  objective : float;
+}
+
+(* The k switches with the smallest key. *)
+let top_k keys switches k =
+  let sorted = Array.copy switches in
+  Array.sort
+    (fun a b ->
+      match compare keys.(a) keys.(b) with 0 -> compare a b | c -> c)
+    sorted;
+  if k >= Array.length sorted then sorted else Array.sub sorted 0 k
+
+let solve_n1 (att : Cost.attach) switches =
+  let best = ref infinity and best_switch = ref (-1) in
+  Array.iter
+    (fun s ->
+      let value = att.a_in.(s) +. att.a_out.(s) in
+      if value < !best then begin
+        best := value;
+        best_switch := s
+      end)
+    switches;
+  { placement = [| !best_switch |]; cost = !best; objective = !best }
+
+let solve_n2 problem att ingresses egresses =
+  let best = ref infinity and best_pair = ref (-1, -1) in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun t ->
+          if s <> t then begin
+            let value =
+              att.Cost.a_in.(s)
+              +. (att.Cost.total_rate *. Problem.cost problem s t)
+              +. att.Cost.a_out.(t)
+            in
+            if value < !best then begin
+              best := value;
+              best_pair := (s, t)
+            end
+          end)
+        egresses)
+    ingresses;
+  let s, t = !best_pair in
+  { placement = [| s; t |]; cost = !best; objective = !best }
+
+let solve problem ~rates ?(rescore = false) ?pair_limit ?max_edges () =
+  let att = Cost.attach problem ~rates in
+  let switches = Problem.switches problem in
+  let n = Problem.n problem in
+  let ingresses, egresses =
+    match pair_limit with
+    | None -> (switches, switches)
+    | Some k -> (top_k att.a_in switches k, top_k att.a_out switches k)
+  in
+  if n = 1 then solve_n1 att switches
+  else if n = 2 then solve_n2 problem att ingresses egresses
+  else begin
+    let cm = Problem.cm problem in
+    let best = ref infinity in
+    let best_placement = ref None in
+    let best_cost = ref infinity in
+    let consider ~ingress ~egress ~middles ~stroll_cost =
+      let placement = Array.concat [ [| ingress |]; middles; [| egress |] ] in
+      let objective =
+        att.a_in.(ingress)
+        +. (att.total_rate *. stroll_cost)
+        +. att.a_out.(egress)
+      in
+      let actual = Cost.comm_cost_with_attach problem att placement in
+      let key = if rescore then actual else objective in
+      if key < !best then begin
+        best := key;
+        best_cost := actual;
+        best_placement := Some (placement, objective)
+      end
+    in
+    Array.iter
+      (fun egress ->
+        let table =
+          Stroll_dp.prepare ~cm ~dst:egress ~candidates:switches ~extras:[||]
+        in
+        Array.iter
+          (fun ingress ->
+            if ingress <> egress then begin
+              match
+                Stroll_dp.query table ~src:ingress ~n:(n - 2) ?max_edges ()
+              with
+              | Some r ->
+                  consider ~ingress ~egress ~middles:r.switches
+                    ~stroll_cost:r.cost
+              | None ->
+                  (* Edge budget exhausted for this pair: greedy filler so
+                     the pair still competes. *)
+                  let eligible =
+                    Array.of_list
+                      (List.filter
+                         (fun v -> v <> ingress && v <> egress)
+                         (Array.to_list switches))
+                  in
+                  let r =
+                    Stroll_dp.nearest_neighbour ~cm ~src:ingress ~dst:egress
+                      ~n:(n - 2) ~eligible
+                  in
+                  consider ~ingress ~egress ~middles:r.switches
+                    ~stroll_cost:r.cost
+            end)
+          ingresses)
+      egresses;
+    match !best_placement with
+    | Some (placement, objective) ->
+        { placement; cost = !best_cost; objective }
+    | None -> invalid_arg "Placement_dp.solve: no feasible ingress/egress pair"
+  end

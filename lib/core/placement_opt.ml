@@ -1,0 +1,122 @@
+type outcome = {
+  placement : Placement.t;
+  cost : float;
+  proven_optimal : bool;
+  explored : int;
+}
+
+let solve problem ~rates ?(budget = 20_000_000) ?incumbent () =
+  let att = Cost.attach problem ~rates in
+  let switches = Problem.switches problem in
+  let n = Problem.n problem in
+  let k = Array.length switches in
+  let d u v = Problem.cost problem u v in
+  let lambda = att.total_rate in
+  (* Bound ingredients. *)
+  let delta_min = ref infinity in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then
+        delta_min := Float.min !delta_min (d switches.(i) switches.(j))
+    done
+  done;
+  let delta_min = if k > 1 then !delta_min else 0.0 in
+  let min_a_out =
+    Array.fold_left (fun acc s -> Float.min acc att.a_out.(s)) infinity switches
+  in
+  (* Incumbent. *)
+  let seed =
+    match incumbent with
+    | Some p -> p
+    | None -> (Placement_dp.solve problem ~rates ()).placement
+  in
+  let best_cost = ref (Cost.comm_cost_with_attach problem att seed) in
+  let best = ref (Array.copy seed) in
+  (* Child orders, cached: depth 0 sorts by A_in, deeper levels by
+     distance from the previously placed switch. *)
+  let first_order =
+    let o = Array.copy switches in
+    Array.sort
+      (fun a b ->
+        match compare att.a_in.(a) att.a_in.(b) with
+        | 0 -> compare a b
+        | c -> c)
+      o;
+    o
+  in
+  let order_cache = Hashtbl.create k in
+  let ordered_from u =
+    match Hashtbl.find_opt order_cache u with
+    | Some o -> o
+    | None ->
+        let o = Array.copy switches in
+        Array.sort
+          (fun a b -> match compare (d u a) (d u b) with 0 -> compare a b | c -> c)
+          o;
+        Hashtbl.add order_cache u o;
+        o
+  in
+  let used = Hashtbl.create n in
+  let chosen = Array.make n (-1) in
+  let explored = ref 0 in
+  let exhausted = ref false in
+  (* [partial] = A_in(chosen.(0)) + Λ · chain cost so far. *)
+  let rec dfs depth partial =
+    if !explored >= budget then exhausted := true
+    else begin
+      incr explored;
+      if depth = n then begin
+        let total = partial +. att.a_out.(chosen.(n - 1)) in
+        if total < !best_cost then begin
+          best_cost := total;
+          best := Array.copy chosen
+        end
+      end
+      else begin
+        let order = if depth = 0 then first_order else ordered_from chosen.(depth - 1) in
+        let remaining_after = n - depth - 1 in
+        let i = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !i < k do
+          let x = order.(!i) in
+          incr i;
+          if not (Hashtbl.mem used x) then begin
+            let partial' =
+              if depth = 0 then att.a_in.(x)
+              else partial +. (lambda *. d chosen.(depth - 1) x)
+            in
+            let tail_bound =
+              if remaining_after = 0 then att.a_out.(x)
+              else
+                (lambda *. float_of_int remaining_after *. delta_min)
+                +. min_a_out
+            in
+            (* Children are sorted by exactly the term in [partial'] that
+               grows, so once even [min_a_out] cannot rescue a sibling,
+               none that follow can do better. [tail_bound] itself uses
+               the child's own A_out at the last level, which is not
+               monotone in the sort key — it only prunes the child. *)
+            let sibling_cutoff =
+              if remaining_after = 0 then partial' +. min_a_out
+              else partial' +. tail_bound
+            in
+            if sibling_cutoff >= !best_cost then stop := true
+            else if partial' +. tail_bound < !best_cost then begin
+              Hashtbl.add used x ();
+              chosen.(depth) <- x;
+              dfs (depth + 1) partial';
+              Hashtbl.remove used x
+            end;
+            if !exhausted then stop := true
+          end
+        done
+      end
+    end
+  in
+  dfs 0 0.0;
+  {
+    placement = !best;
+    cost = !best_cost;
+    proven_optimal = not !exhausted;
+    explored = !explored;
+  }

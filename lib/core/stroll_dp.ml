@@ -1,0 +1,238 @@
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Graph = Ppdc_topology.Graph
+
+type table = {
+  nodes : int array;  (* local index -> graph node; dst is local 0 *)
+  local : (int, int) Hashtbl.t;  (* graph node -> local index *)
+  counting : bool array;  (* local index counts towards "n distinct" *)
+  dist : float array array;  (* metric completion, local indices *)
+  dst : int;  (* graph node *)
+  mutable best : float array list;  (* levels e = max .. 1, reversed below *)
+  mutable succ : int array list;
+  mutable levels : int;  (* number of levels computed *)
+}
+
+(* Levels are stored most-recent-first; [level t e] fetches level [e]
+   (1-based). *)
+let level t e =
+  let from_top = t.levels - e in
+  (List.nth t.best from_top, List.nth t.succ from_top)
+
+let prepare ~cm ~dst ~candidates ~extras =
+  if Array.length candidates = 0 then
+    invalid_arg "Stroll_dp.prepare: no candidates";
+  let local = Hashtbl.create 64 in
+  let add_node acc v =
+    if Hashtbl.mem local v then acc
+    else begin
+      Hashtbl.add local v (List.length acc);
+      v :: acc
+    end
+  in
+  (* dst first so it gets local index 0. *)
+  let rev_nodes = add_node [] dst in
+  let rev_nodes = Array.fold_left add_node rev_nodes candidates in
+  let rev_nodes = Array.fold_left add_node rev_nodes extras in
+  let nodes = Array.of_list (List.rev rev_nodes) in
+  let nn = Array.length nodes in
+  if
+    Array.length candidates
+    <> Hashtbl.length
+         (let h = Hashtbl.create 64 in
+          Array.iter (fun c -> Hashtbl.replace h c ()) candidates;
+          h)
+  then invalid_arg "Stroll_dp.prepare: duplicate candidates";
+  let counting = Array.make nn false in
+  Array.iter (fun c -> counting.(Hashtbl.find local c) <- true) candidates;
+  counting.(0) <- false;
+  (* dst never counts *)
+  let dist =
+    Array.init nn (fun i ->
+        Array.init nn (fun j -> Cost_matrix.cost cm nodes.(i) nodes.(j)))
+  in
+  (* Level 1: direct hop to dst. A self "hop" (possible when a node other
+     than local-0 maps to the same graph node, which prepare prevents) and
+     the dst->dst hop are forbidden. *)
+  let best1 = Array.init nn (fun i -> if i = 0 then infinity else dist.(i).(0)) in
+  let succ1 = Array.init nn (fun i -> if i = 0 then -1 else 0) in
+  {
+    nodes;
+    local;
+    counting;
+    dist;
+    dst;
+    best = [ best1 ];
+    succ = [ succ1 ];
+    levels = 1;
+  }
+
+let extend_one_level t =
+  let nn = Array.length t.nodes in
+  let prev_best, prev_succ =
+    match (t.best, t.succ) with
+    | b :: _, s :: _ -> (b, s)
+    | _ -> assert false
+  in
+  let best = Array.make nn infinity in
+  let succ = Array.make nn (-1) in
+  for i = 0 to nn - 1 do
+    (* Intermediate u: not i itself, not dst (local 0), and no immediate
+       backtrack (the previous level's stroll from u must not return
+       straight to i). *)
+    for u = 1 to nn - 1 do
+      if u <> i && prev_succ.(u) <> i && prev_best.(u) < infinity then begin
+        let candidate = t.dist.(i).(u) +. prev_best.(u) in
+        if candidate < best.(i) then begin
+          best.(i) <- candidate;
+          succ.(i) <- u
+        end
+      end
+    done
+  done;
+  t.best <- best :: t.best;
+  t.succ <- succ :: t.succ;
+  t.levels <- t.levels + 1
+
+let ensure_levels t e = while t.levels < e do extend_one_level t done
+
+type result = {
+  cost : float;
+  switches : int array;
+  walk : int array;
+  edges : int;
+}
+
+let extract_walk t ~src_local ~edges =
+  let walk = Array.make (edges + 1) (-1) in
+  walk.(0) <- t.nodes.(src_local);
+  let current = ref src_local in
+  for step = 1 to edges do
+    let _, succ = level t (edges - step + 1) in
+    current := succ.(!current);
+    walk.(step) <- t.nodes.(!current)
+  done;
+  walk
+
+let distinct_counting t ~walk ~src ~excluded =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun v ->
+      if
+        v <> src && v <> t.dst
+        && (not (Hashtbl.mem seen v))
+        && (not (Hashtbl.mem excluded v))
+        &&
+        match Hashtbl.find_opt t.local v with
+        | Some idx -> t.counting.(idx)
+        | None -> false
+      then begin
+        Hashtbl.add seen v ();
+        acc := v :: !acc
+      end)
+    walk;
+  Array.of_list (List.rev !acc)
+
+let query t ~src ~n ?(exclude = [||]) ?max_edges () =
+  let src_local =
+    match Hashtbl.find_opt t.local src with
+    | Some i -> i
+    | None -> invalid_arg "Stroll_dp.query: source not in table"
+  in
+  if n < 0 then invalid_arg "Stroll_dp.query: negative n";
+  if n = 0 then begin
+    if src = t.dst then
+      Some { cost = 0.0; switches = [||]; walk = [| src |]; edges = 0 }
+    else begin
+      ensure_levels t 1;
+      let best, _ = level t 1 in
+      Some
+        {
+          cost = best.(src_local);
+          switches = [||];
+          walk = [| src; t.dst |];
+          edges = 1;
+        }
+    end
+  end
+  else begin
+    let max_edges = Option.value max_edges ~default:((2 * n) + 8) in
+    let excluded = Hashtbl.create (Array.length exclude) in
+    Array.iter (fun v -> Hashtbl.replace excluded v ()) exclude;
+    let rec attempt edges =
+      if edges > max_edges then None
+      else begin
+        ensure_levels t edges;
+        let best, _ = level t edges in
+        if best.(src_local) = infinity then attempt (edges + 1)
+        else begin
+          let walk = extract_walk t ~src_local ~edges in
+          let distinct = distinct_counting t ~walk ~src ~excluded in
+          if Array.length distinct >= n then
+            Some
+              {
+                cost = best.(src_local);
+                switches = Array.sub distinct 0 n;
+                walk;
+                edges;
+              }
+          else attempt (edges + 1)
+        end
+      end
+    in
+    attempt (n + 1)
+  end
+
+(* Nearest-neighbour fallback: hop to the closest unused counting switch
+   until n are collected, then to dst. Guarantees a valid stroll whenever
+   enough counting switches exist. *)
+let nearest_neighbour ~cm ~src ~dst ~n ~eligible =
+  let remaining = Hashtbl.create 16 in
+  Array.iter (fun v -> Hashtbl.replace remaining v ()) eligible;
+  let order = ref [] in
+  let current = ref src in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let chosen = ref (-1) and best = ref infinity in
+    Hashtbl.iter
+      (fun v () ->
+        let d = Cost_matrix.cost cm !current v in
+        if d < !best || (d = !best && (!chosen = -1 || v < !chosen)) then begin
+          best := d;
+          chosen := v
+        end)
+      remaining;
+    assert (!chosen >= 0);
+    Hashtbl.remove remaining !chosen;
+    order := !chosen :: !order;
+    total := !total +. !best;
+    current := !chosen
+  done;
+  total := !total +. Cost_matrix.cost cm !current dst;
+  let switches = Array.of_list (List.rev !order) in
+  let walk = Array.concat [ [| src |]; switches; [| dst |] ] in
+  { cost = !total; switches; walk; edges = n + 1 }
+
+let solve ~cm ~src ~dst ~n ?candidates ?max_edges () =
+  let candidates =
+    match candidates with
+    | Some c -> c
+    | None -> Graph.switches (Cost_matrix.graph cm)
+  in
+  let eligible =
+    Array.of_list
+      (List.filter
+         (fun v -> v <> src && v <> dst)
+         (Array.to_list candidates))
+  in
+  if Array.length eligible < n then
+    invalid_arg "Stroll_dp.solve: not enough candidate switches";
+  let extras =
+    List.filter
+      (fun v -> not (Array.exists (( = ) v) candidates))
+      [ src; dst ]
+  in
+  let table = prepare ~cm ~dst ~candidates ~extras:(Array.of_list extras) in
+  match query table ~src ~n ?max_edges () with
+  | Some r -> r
+  | None -> nearest_neighbour ~cm ~src ~dst ~n ~eligible

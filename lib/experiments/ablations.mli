@@ -1,0 +1,27 @@
+(** Ablation experiments for the design choices called out in DESIGN.md.
+
+    - [rescore]: Algo. 3 selects ingress/egress pairs by the stroll value
+      (paper behaviour) vs by the recomputed exact C_a of the extracted
+      placement — how much does the cheaper selection rule cost?
+    - [frontier]: mPareto skipping vs allowing colliding parallel
+      frontiers — does the one-VNF-per-switch constraint ever bind?
+    - [mu]: migration-coefficient sweep — how μ throttles migration
+      aggressiveness and where NoMigration becomes competitive.
+    - [pair_limit]: the DP placement's ingress/egress candidate cap used
+      for k=16 scalability — solution quality vs the faithful full
+      scan.
+    - [initial]: day-0 deployment policy. Eq. 9 has τ_0 = 0, so the
+      paper's SFC is deployed before any traffic exists (uninformed,
+      arbitrary placement) — the setting under which NoMigration loses
+      badly. This ablation compares against an idealized operator who
+      already knows the hour-1 rates, quantifying how much of the
+      migration gain comes from correcting the blind deployment vs from
+      tracking the east/west hotspot drift. *)
+
+val rescore : Mode.t -> Ppdc_prelude.Table.t list
+val frontier : Mode.t -> Ppdc_prelude.Table.t list
+val mu : Mode.t -> Ppdc_prelude.Table.t list
+val pair_limit : Mode.t -> Ppdc_prelude.Table.t list
+val initial : Mode.t -> Ppdc_prelude.Table.t list
+val lookahead : Mode.t -> Ppdc_prelude.Table.t list
+val parallel_frontiers : Mode.t -> Ppdc_prelude.Table.t list

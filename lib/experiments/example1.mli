@@ -1,0 +1,9 @@
+(** Example 1 / Fig. 3 — the paper's worked migration example.
+
+    The 5-switch linear PPDC (equivalently the k=2 fat-tree) with two VM
+    pairs: the optimal placement costs 410; swapping the rate vector
+    ⟨100,1⟩ → ⟨1,100⟩ inflates the stale placement to 1004; migrating
+    both VNFs for 6 restores 410, a 58.6% total-cost reduction. The
+    table replays each step with the library's own algorithms. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list

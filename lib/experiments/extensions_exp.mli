@@ -1,0 +1,16 @@
+(** Experiments for the paper's future-work extensions.
+
+    - [capacity]: how much does letting a switch host [c] VNFs save?
+      (conclusion: "each switch can install multiple VNFs")
+    - [multi_sfc]: several chains sharing one PPDC, placed by traffic
+      weight ("different VM flows can request different SFCs")
+    - [replication]: static replication vs mPareto migration over a
+      diurnal day ("to which extent VNF replication could be beneficial
+      ... compared to VNF migration") *)
+
+val capacity : Mode.t -> Ppdc_prelude.Table.t list
+val multi_sfc : Mode.t -> Ppdc_prelude.Table.t list
+val replication : Mode.t -> Ppdc_prelude.Table.t list
+val failures : Mode.t -> Ppdc_prelude.Table.t list
+val utilization : Mode.t -> Ppdc_prelude.Table.t list
+val churn : Mode.t -> Ppdc_prelude.Table.t list

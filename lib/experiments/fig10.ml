@@ -1,0 +1,35 @@
+module Table = Ppdc_prelude.Table
+module Stats = Ppdc_prelude.Stats
+
+let run mode =
+  let k = Mode.k_placement mode in
+  let l = Mode.l_fixed mode in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 10: TOP with uniform link delays (k=%d, l=%d, delay mean \
+            1.5ms var 0.5)"
+           k l)
+      ~columns:
+        [
+          "n"; "Optimal"; "DP"; "Greedy"; "Steering"; "DP/Opt"; "DP/Steering";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let optimal, dp, greedy, steering =
+        Fig9.compare_algorithms ~weighted:true ~mode ~k ~l ~n
+      in
+      Table.add_row table
+        [
+          string_of_int n;
+          Runner.mean_cell optimal;
+          Runner.mean_cell dp;
+          Runner.mean_cell greedy;
+          Runner.mean_cell steering;
+          Printf.sprintf "%.3f" (dp.Stats.mean /. optimal.Stats.mean);
+          Printf.sprintf "%.3f" (dp.Stats.mean /. steering.Stats.mean);
+        ])
+    (Mode.n_sweep mode);
+  [ table ]

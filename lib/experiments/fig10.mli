@@ -1,0 +1,9 @@
+(** Fig. 10 — TOP placement comparison with link time delays.
+
+    Same algorithms as Fig. 9(b) but on weighted PPDCs: link delays drawn
+    uniformly with mean 1.5 ms and variance 0.5 (the setting Fig. 10
+    adopts from Liu et al.). The paper reports DP within 6–12% of
+    Optimal and 56–64% below Steering/Greedy; the summary table prints
+    those two ratios per n. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list

@@ -1,0 +1,17 @@
+(** Fig. 11 — VNF migration under dynamic diurnal traffic.
+
+    A simulated 12-hour day on the large PPDC (paper: k=16, l=1000,
+    n=7, μ = 10^4 or 10^5):
+
+    - (a) per-hour total (communication + migration) cost of mPareto,
+      PLAN, MCF and budgeted-Optimal — mPareto within a few percent of
+      Optimal and far below the VM-migration baselines;
+    - (b) per-hour migration counts — a handful of VNF moves vs droves
+      of VM moves;
+    - (c) total daily cost vs l for μ ∈ {10^4, 10^5}, mPareto /
+      Optimal / NoMigration;
+    - (d) total daily cost vs n, mPareto vs NoMigration — the "up to
+      73% reduction" headline. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list
+(** Returns the (a), (b), (c), (d) tables in order. *)

@@ -1,0 +1,47 @@
+module Table = Ppdc_prelude.Table
+module Rng = Ppdc_prelude.Rng
+module Flow = Ppdc_traffic.Flow
+module Workload = Ppdc_traffic.Workload
+open Ppdc_core
+
+let run mode =
+  let k = Mode.k_dynamic mode in
+  let n = 6 in
+  let mu = 200.0 in
+  let l = Mode.l_dynamic mode in
+  let problem = Runner.fat_tree_problem ~k ~l ~n ~seed:1 () in
+  (* The chain was deployed before traffic existed (tau_0 = 0), so the
+     VNFs start far from where the live traffic wants them — the setting
+     in which the frontier walk of Fig. 6 is interesting. *)
+  let current = Placement.random ~rng:(Rng.create 1) problem in
+  let rng = Rng.create 2 in
+  let rates = Workload.redraw_rates ~rng (Problem.flows problem) in
+  let outcome =
+    Mpareto.migrate problem ~rates ~mu ~current
+      ?pair_limit:(Mode.pair_limit mode) ()
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 6(b): parallel-frontier Pareto front (k=%d, n=%d, mu=%.0f)" k
+           n mu)
+      ~columns:[ "frontier"; "C_b (migration)"; "C_a (communication)"; "C_t"; "chosen" ]
+  in
+  List.iteri
+    (fun i (p : Mpareto.point) ->
+      Table.add_row table
+        [
+          (if i = 0 then "0 (=p)"
+           else if i = List.length outcome.points - 1 then
+             Printf.sprintf "%d (=p')" i
+           else string_of_int i);
+          Printf.sprintf "%.0f" p.migration_cost;
+          Printf.sprintf "%.0f" p.comm_cost;
+          Printf.sprintf "%.0f" (p.migration_cost +. p.comm_cost);
+          (if Placement.equal p.frontier outcome.migration then "<-- mPareto"
+           else if p.collides then "(collides)"
+           else "");
+        ])
+    outcome.points;
+  [ table ]

@@ -1,0 +1,10 @@
+(** Fig. 6(b) — the Pareto front of parallel migration frontiers.
+
+    One rate redraw on a large PPDC with n = 6 and μ = 200: the table
+    lists every parallel frontier's migration cost C_b (x-axis of the
+    paper's scatter) and communication cost C_a (y-axis), plus which one
+    mPareto committed. Expected shape: C_a falls monotonically as C_b
+    grows — a Pareto front — and mPareto picks the row minimizing the
+    sum. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list

@@ -1,0 +1,10 @@
+(** Fig. 7 — TOP-1 (n-stroll) algorithm comparison.
+
+    One VM pair on an unweighted fat-tree (paper: k=8), chain length
+    swept. Series: Optimal (exact stroll), DP-Stroll (Algo. 2), the
+    concrete primal-dual stroll (Algo. 1), and the paper's plotted
+    2·Optimal guarantee line. Expected shape: costs grow with n,
+    DP-Stroll tracks Optimal within ~8% and stays well under the
+    guarantee. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list

@@ -1,0 +1,21 @@
+module Table = Ppdc_prelude.Table
+module Diurnal = Ppdc_traffic.Diurnal
+
+let run _mode =
+  let m = Diurnal.default in
+  let table =
+    Table.create ~title:"Fig. 8: daily traffic-rate pattern (Eq. 9)"
+      ~columns:[ "hour"; "tau_east"; "tau_west"; "fleet_average" ]
+  in
+  for hour = 0 to m.hours do
+    let east = Diurnal.scale m ~coast:East ~hour in
+    let west = Diurnal.scale m ~coast:West ~hour in
+    Table.add_row table
+      [
+        string_of_int hour;
+        Printf.sprintf "%.3f" east;
+        Printf.sprintf "%.3f" west;
+        Printf.sprintf "%.3f" (0.5 *. (east +. west));
+      ]
+  done;
+  [ table ]

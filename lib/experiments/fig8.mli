@@ -1,0 +1,7 @@
+(** Fig. 8 — the daily traffic-rate pattern (Eq. 9).
+
+    Prints τ_h for east- and west-coast flows over the 12-hour day plus
+    the aggregate scale of a 50/50 coast mix: rates ramp to the noon
+    peak and back, with the west coast lagging by three hours. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list

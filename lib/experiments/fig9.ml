@@ -1,0 +1,82 @@
+module Table = Ppdc_prelude.Table
+module Flow = Ppdc_traffic.Flow
+open Ppdc_core
+open Ppdc_baselines
+
+(* One data point: mean cost of the four algorithms on fresh seeded
+   instances. Shared with Fig. 10, which only flips [weighted]. *)
+let compare_algorithms ~weighted ~mode ~k ~l ~n =
+  let trials = Mode.trials mode in
+  let budget = Mode.opt_budget mode in
+  let point f = Runner.average ~trials f in
+  let instance ~seed = Runner.fat_tree_problem ~weighted ~k ~l ~n ~seed () in
+  let optimal =
+    point (fun ~seed ->
+        let problem = instance ~seed in
+        let rates = Flow.base_rates (Problem.flows problem) in
+        (Placement_opt.solve problem ~rates ~budget ()).cost)
+  in
+  let dp =
+    point (fun ~seed ->
+        let problem = instance ~seed in
+        let rates = Flow.base_rates (Problem.flows problem) in
+        (Placement_dp.solve problem ~rates ()).cost)
+  in
+  let greedy =
+    point (fun ~seed ->
+        let problem = instance ~seed in
+        let rates = Flow.base_rates (Problem.flows problem) in
+        (Greedy_liu.place problem ~rates).cost)
+  in
+  let steering =
+    point (fun ~seed ->
+        let problem = instance ~seed in
+        let rates = Flow.base_rates (Problem.flows problem) in
+        (Steering.place problem ~rates).cost)
+  in
+  (optimal, dp, greedy, steering)
+
+let row label (optimal, dp, greedy, steering) =
+  [
+    label;
+    Runner.mean_cell optimal;
+    Runner.mean_cell dp;
+    Runner.mean_cell greedy;
+    Runner.mean_cell steering;
+  ]
+
+let columns = [ "param"; "Optimal"; "DP"; "Greedy"; "Steering" ]
+
+let run mode =
+  let k = Mode.k_placement mode in
+  let n_fixed = 5 in
+  let table_a =
+    Table.create
+      ~title:
+        (Printf.sprintf "Fig. 9(a): TOP vs number of flows l (k=%d, n=%d)" k
+           n_fixed)
+      ~columns
+  in
+  List.iter
+    (fun l ->
+      Table.add_row table_a
+        (row
+           (Printf.sprintf "l=%d" l)
+           (compare_algorithms ~weighted:false ~mode ~k ~l ~n:n_fixed)))
+    (Mode.l_sweep mode);
+  let l_fixed = Mode.l_fixed mode in
+  let table_b =
+    Table.create
+      ~title:
+        (Printf.sprintf "Fig. 9(b): TOP vs chain length n (k=%d, l=%d)" k
+           l_fixed)
+      ~columns
+  in
+  List.iter
+    (fun n ->
+      Table.add_row table_b
+        (row
+           (Printf.sprintf "n=%d" n)
+           (compare_algorithms ~weighted:false ~mode ~k ~l:l_fixed ~n)))
+    (Mode.n_sweep mode);
+  [ table_a; table_b ]

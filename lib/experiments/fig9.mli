@@ -1,0 +1,24 @@
+(** Fig. 9 — TOP placement comparison on unweighted PPDCs.
+
+    (a) sweeps the number of VM flows [l] at a fixed chain length;
+    (b) sweeps the chain length [n] at a fixed [l]. Series: Optimal
+    (Algo. 4 branch-and-bound), DP (Algo. 3), Greedy (Liu et al.) and
+    Steering (Zhang et al.). Expected shape: DP hugs Optimal while both
+    baselines sit far above. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list
+(** Returns the 9(a) and 9(b) tables. *)
+
+val compare_algorithms :
+  weighted:bool ->
+  mode:Mode.t ->
+  k:int ->
+  l:int ->
+  n:int ->
+  Ppdc_prelude.Stats.summary
+  * Ppdc_prelude.Stats.summary
+  * Ppdc_prelude.Stats.summary
+  * Ppdc_prelude.Stats.summary
+(** One data point — mean costs of (Optimal, DP, Greedy, Steering) over
+    the mode's trial count. Shared with Fig. 10, which sets
+    [weighted]. *)

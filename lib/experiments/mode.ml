@@ -1,0 +1,46 @@
+type t = Quick | Full
+
+let of_env () =
+  match Sys.getenv_opt "PPDC_BENCH_MODE" with
+  | Some s when String.lowercase_ascii s = "full" -> Full
+  | Some _ | None -> Quick
+
+let name = function Quick -> "quick" | Full -> "full"
+
+let trials = function Quick -> 5 | Full -> 20
+
+let k_placement = function Quick -> 4 | Full -> 8
+
+let k_dynamic = function Quick -> 4 | Full -> 16
+
+let l_sweep = function
+  | Quick -> [ 4; 8; 16; 32 ]
+  | Full -> [ 50; 100; 200; 400; 800 ]
+
+let l_fixed = function Quick -> 10 | Full -> 200
+
+let l_dynamic = function Quick -> 40 | Full -> 1000
+
+let mu_dynamic = function Quick -> (3e3, 1e4) | Full -> (1e4, 1e5)
+
+let trials_dynamic = function Quick -> 3 | Full -> 5
+
+let l_dynamic_sweep = function
+  | Quick -> [ 20; 40; 80 ]
+  | Full -> [ 250; 500; 1000 ]
+
+let n_dynamic_sweep = function
+  | Quick -> [ 3; 4; 5 ]
+  | Full -> [ 3; 5; 7; 9; 11; 13 ]
+
+let n_sweep = function Quick -> [ 3; 4; 5; 6 ] | Full -> [ 3; 5; 7; 9; 11; 13 ]
+
+let n_stroll_sweep = function
+  | Quick -> [ 2; 3; 4; 5; 6 ]
+  | Full -> [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let n_dynamic = function Quick -> 4 | Full -> 7
+
+let opt_budget = function Quick -> 2_000_000 | Full -> 200_000
+
+let pair_limit = function Quick -> None | Full -> Some 16

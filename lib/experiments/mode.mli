@@ -1,0 +1,69 @@
+(** Experiment scaling modes.
+
+    [Full] reproduces the paper's parameters (k=8 and k=16 fat-trees,
+    l up to 1000, 20 trials per data point) and takes tens of minutes;
+    [Quick] shrinks the topologies and trial counts so the entire bench
+    suite finishes in a couple of minutes while preserving every
+    qualitative comparison. The bench harness reads the mode from the
+    [PPDC_BENCH_MODE] environment variable ([quick] is the default). *)
+
+type t = Quick | Full
+
+val of_env : unit -> t
+(** [PPDC_BENCH_MODE=full] selects [Full]; anything else is [Quick]. *)
+
+val name : t -> string
+
+val trials : t -> int
+(** Runs averaged per data point: 5 quick, 20 full (the paper's count). *)
+
+val k_placement : t -> int
+(** Fat-tree arity for the placement experiments (Figs. 7, 9, 10):
+    4 quick, 8 full. *)
+
+val k_dynamic : t -> int
+(** Fat-tree arity for the dynamic-traffic experiments (Figs. 6(b), 11):
+    4 quick, 16 full. *)
+
+val l_sweep : t -> int list
+(** Flow counts for the "vary l" experiments. *)
+
+val l_fixed : t -> int
+(** Flow count for the "vary n" experiments. *)
+
+val l_dynamic : t -> int
+(** Flow count for the Fig. 11 day simulations (paper: 1000). *)
+
+val mu_dynamic : t -> float * float
+(** The two migration coefficients for the dynamic experiments. Full
+    mode uses the paper's (10^4, 10^5); quick mode scales them down to
+    (10^2, 10^3) because on a k=4 fabric (distances ≤ 6, l = 20) a
+    10^4-sized migration can never amortize — the comparison would
+    degenerate to "nobody moves". *)
+
+val trials_dynamic : t -> int
+(** Trials for the day simulations — smaller than {!trials} because each
+    data point is a full 12-hour simulation of four policies. *)
+
+val l_dynamic_sweep : t -> int list
+(** Flow counts for Fig. 11(c). *)
+
+val n_dynamic_sweep : t -> int list
+(** Chain lengths for Fig. 11(d). *)
+
+val n_sweep : t -> int list
+(** Chain lengths for the "vary n" experiments (paper: up to 13). *)
+
+val n_stroll_sweep : t -> int list
+(** Chain lengths for the TOP-1 experiment (Fig. 7). *)
+
+val n_dynamic : t -> int
+(** Chain length for Fig. 11(a)-(c) (paper: 7). *)
+
+val opt_budget : t -> int
+(** Branch-and-bound node budget for "Optimal" curves. *)
+
+val pair_limit : t -> int option
+(** Ingress/egress candidate cap for DP placement inside day
+    simulations; [None] in quick mode (topologies are small enough for
+    the faithful full scan). *)

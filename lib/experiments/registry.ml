@@ -1,0 +1,116 @@
+type entry = {
+  id : string;
+  summary : string;
+  run : Mode.t -> Ppdc_prelude.Table.t list;
+}
+
+let all =
+  [
+    {
+      id = "example1";
+      summary = "Example 1 / Fig. 3 worked migration example (410/1004/6/410)";
+      run = Example1.run;
+    };
+    {
+      id = "fig6b";
+      summary = "Pareto front of parallel migration frontiers";
+      run = Fig6b.run;
+    };
+    {
+      id = "fig7";
+      summary = "TOP-1 stroll algorithms: Optimal / DP-Stroll / PrimalDual";
+      run = Fig7.run;
+    };
+    { id = "fig8"; summary = "Eq. 9 daily traffic-rate pattern"; run = Fig8.run };
+    {
+      id = "fig9";
+      summary = "TOP placement comparison, unweighted (varying l and n)";
+      run = Fig9.run;
+    };
+    {
+      id = "fig10";
+      summary = "TOP placement comparison with uniform link delays";
+      run = Fig10.run;
+    };
+    {
+      id = "fig11";
+      summary = "Dynamic-traffic day: mPareto vs Optimal vs PLAN/MCF/NoMigration";
+      run = Fig11.run;
+    };
+    {
+      id = "tab2";
+      summary = "Table II algorithm-matrix smoke run";
+      run = Tab2.run;
+    };
+    {
+      id = "abl_rescore";
+      summary = "Ablation: stroll-value vs rescored pair selection in Algo. 3";
+      run = Ablations.rescore;
+    };
+    {
+      id = "abl_frontier";
+      summary = "Ablation: frontier collision policy in mPareto";
+      run = Ablations.frontier;
+    };
+    {
+      id = "abl_mu";
+      summary = "Ablation: migration-coefficient sweep";
+      run = Ablations.mu;
+    };
+    {
+      id = "abl_pair_limit";
+      summary = "Ablation: DP placement candidate cap";
+      run = Ablations.pair_limit;
+    };
+    {
+      id = "abl_initial";
+      summary = "Ablation: uninformed vs hour-1-aware day-0 deployment";
+      run = Ablations.initial;
+    };
+    {
+      id = "abl_parallel";
+      summary = "Ablation: parallel frontiers vs the full Definition-1 set";
+      run = Ablations.parallel_frontiers;
+    };
+    {
+      id = "abl_lookahead";
+      summary = "Ablation: value of a perfect one-hour traffic forecast";
+      run = Ablations.lookahead;
+    };
+    {
+      id = "ext_capacity";
+      summary = "Extension: multiple VNFs per switch (block reduction)";
+      run = Extensions_exp.capacity;
+    };
+    {
+      id = "ext_multi_sfc";
+      summary = "Extension: concurrent per-flow SFCs sharing one PPDC";
+      run = Extensions_exp.multi_sfc;
+    };
+    {
+      id = "ext_replication";
+      summary = "Extension: static VNF replication vs migration";
+      run = Extensions_exp.replication;
+    };
+    {
+      id = "ext_failures";
+      summary = "Extension: link failures and the migration response";
+      run = Extensions_exp.failures;
+    };
+    {
+      id = "ext_churn";
+      summary = "Extension: user churn (arrivals/departures) over a trace";
+      run = Extensions_exp.churn;
+    };
+    {
+      id = "ext_utilization";
+      summary = "Link utilization under DP placement (bandwidth headroom)";
+      run = Extensions_exp.utilization;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,16 @@
+(** Name → experiment dispatch, shared by the CLI and the bench harness. *)
+
+type entry = {
+  id : string;  (** e.g. ["fig9"], ["abl_mu"] *)
+  summary : string;
+  run : Mode.t -> Ppdc_prelude.Table.t list;
+}
+
+val all : entry list
+(** Every experiment, in the paper's order (worked example, then figures,
+    then Table II and the ablations). *)
+
+val find : string -> entry option
+(** Lookup by id (case-insensitive). *)
+
+val ids : unit -> string list

@@ -1,0 +1,49 @@
+module Fat_tree = Ppdc_topology.Fat_tree
+module Graph = Ppdc_topology.Graph
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Workload = Ppdc_traffic.Workload
+module Rng = Ppdc_prelude.Rng
+module Stats = Ppdc_prelude.Stats
+open Ppdc_core
+
+(* The unweighted fat-tree and its all-pairs matrix depend only on k;
+   cache them across trials (the k=16 matrix costs ~45M operations and
+   30 MB, and Fig. 11 uses it hundreds of times). *)
+let unweighted_cache : (int, Fat_tree.t * Cost_matrix.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let unweighted_fat_tree k =
+  match Hashtbl.find_opt unweighted_cache k with
+  | Some pair -> pair
+  | None ->
+      let ft = Fat_tree.build k in
+      let cm = Cost_matrix.compute ft.graph in
+      Hashtbl.add unweighted_cache k (ft, cm);
+      (ft, cm)
+
+let fat_tree_problem ?(weighted = false) ?(rack_locality = 0.8) ~k ~l ~n ~seed
+    () =
+  let rng = Rng.create seed in
+  let ft, cm =
+    if weighted then begin
+      (* Link delays ~ U(mean 1.5, variance 0.5): half-width sqrt(3*0.5). *)
+      let half_width = sqrt 1.5 in
+      let weight_rng = Rng.split rng in
+      let ft =
+        Fat_tree.build
+          ~weight:(fun _ _ ->
+            Rng.uniform weight_rng ~lo:(1.5 -. half_width)
+              ~hi:(1.5 +. half_width))
+          k
+      in
+      (ft, Cost_matrix.compute ft.graph)
+    end
+    else unweighted_fat_tree k
+  in
+  let flows = Workload.generate_on_fat_tree ~rack_locality ~rng ~l ft in
+  Problem.make ~cm ~flows ~n ()
+
+let average ~trials f =
+  Stats.summary (Array.init trials (fun i -> f ~seed:(i + 1)))
+
+let mean_cell (s : Stats.summary) = Printf.sprintf "%.1f±%.1f" s.mean s.ci95

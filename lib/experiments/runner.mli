@@ -1,0 +1,31 @@
+(** Shared helpers for the figure-reproduction experiments. *)
+
+val unweighted_fat_tree :
+  int -> Ppdc_topology.Fat_tree.t * Ppdc_topology.Cost_matrix.t
+(** Memoized unit-weight fat-tree and its all-pairs matrix for a given
+    k (the k=16 matrix costs ~45M operations and 30 MB to build, and the
+    dynamic experiments reuse it hundreds of times). *)
+
+val fat_tree_problem :
+  ?weighted:bool ->
+  ?rack_locality:float ->
+  k:int ->
+  l:int ->
+  n:int ->
+  seed:int ->
+  unit ->
+  Ppdc_core.Problem.t
+(** Build a seeded experiment instance: a k-ary fat-tree (unit link
+    weights, or — with [weighted] — link delays uniform with mean 1.5 ms
+    and variance 0.5 ms², the setting Fig. 10 takes from Liu et al.),
+    [l] flows with the paper's rack locality and Facebook rate mix, and
+    an SFC of length [n]. The same seed always yields the same
+    instance. *)
+
+val average :
+  trials:int -> (seed:int -> float) -> Ppdc_prelude.Stats.summary
+(** Run [f ~seed] for seeds 1..trials and summarize (mean ± 95% CI), the
+    paper's "average of 20 runs" protocol. *)
+
+val mean_cell : Ppdc_prelude.Stats.summary -> string
+(** Render a summary as ["mean±ci"] for table cells. *)

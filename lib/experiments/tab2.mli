@@ -1,0 +1,8 @@
+(** Table II — one smoke run of every algorithm in the comparison matrix.
+
+    A single seeded instance; each algorithm of Table II (our solutions
+    and the existing work we compare against) reports its cost, so a
+    reader can see at a glance that everything is wired and who wins
+    where. *)
+
+val run : Mode.t -> Ppdc_prelude.Table.t list

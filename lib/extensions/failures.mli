@@ -1,0 +1,41 @@
+(** Link-failure injection.
+
+    Data-center links fail; the PPDC reroutes around the failure (costs
+    change) and the now-misplaced chain should migrate. This module
+    removes a seeded random subset of switch-switch links while
+    preserving connectivity (host uplinks are never failed — a host with
+    a dead uplink would leave the PPDC, which is VM-failover territory,
+    not VNF placement), so the TOP/TOM algorithms can be exercised on a
+    degraded fabric. *)
+
+val fail_links :
+  rng:Ppdc_prelude.Rng.t ->
+  fraction:float ->
+  Ppdc_topology.Graph.t ->
+  Ppdc_topology.Graph.t * (int * int) list
+(** [fail_links ~rng ~fraction g] removes up to
+    [fraction · (#switch-switch links)] randomly chosen switch-switch
+    links, skipping any removal that would disconnect the graph.
+    Returns the degraded graph and the failed links (possibly fewer than
+    requested if connectivity kept blocking candidates). Raises
+    [Invalid_argument] if [fraction] is outside [0, 1]. *)
+
+type impact = {
+  failed : (int * int) list;
+  cost_before : float;  (** [C_a] of the placement on the healthy fabric *)
+  cost_after : float;  (** [C_a] of the same placement after rerouting *)
+  cost_migrated : float;
+      (** [C_t] after mPareto reacts on the degraded fabric *)
+  moved : int;
+}
+
+val impact :
+  rng:Ppdc_prelude.Rng.t ->
+  fraction:float ->
+  mu:float ->
+  Ppdc_core.Problem.t ->
+  rates:float array ->
+  placement:Ppdc_core.Placement.t ->
+  impact
+(** One failure episode: degrade the fabric, recompute the cost matrix,
+    re-evaluate the placement, and let mPareto respond. *)

@@ -1,0 +1,168 @@
+open Ppdc_core
+module Flow = Ppdc_traffic.Flow
+module Graph = Ppdc_topology.Graph
+
+type spec = {
+  chains : Chain.t array;
+  assignment : int array;
+}
+
+type t = {
+  cm : Ppdc_topology.Cost_matrix.t;
+  flows : Flow.t array;
+  spec : spec;
+  per_chain : Flow.t array array;  (* re-indexed flows per chain *)
+  originals : int array array;  (* per_chain.(c).(j).id -> global flow id *)
+}
+
+let make ~cm ~flows ~spec =
+  if Array.length spec.chains = 0 then invalid_arg "Multi_sfc.make: no chains";
+  if Array.length spec.assignment <> Array.length flows then
+    invalid_arg "Multi_sfc.make: assignment length mismatch";
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= Array.length spec.chains then
+        invalid_arg "Multi_sfc.make: chain index out of range")
+    spec.assignment;
+  let needed =
+    Array.fold_left (fun acc c -> acc + Chain.length c) 0 spec.chains
+  in
+  let available = Graph.num_switches (Ppdc_topology.Cost_matrix.graph cm) in
+  if needed > available then
+    invalid_arg "Multi_sfc.make: chains need more switches than exist";
+  let buckets = Array.make (Array.length spec.chains) [] in
+  Array.iteri
+    (fun i (f : Flow.t) ->
+      let c = spec.assignment.(i) in
+      buckets.(c) <- f :: buckets.(c))
+    flows;
+  let per_chain_and_originals =
+    Array.map
+      (fun bucket ->
+        let originals = List.rev_map (fun (f : Flow.t) -> f.id) bucket in
+        let reindexed =
+          List.rev bucket
+          |> List.mapi (fun j (f : Flow.t) -> { f with id = j })
+        in
+        (Array.of_list reindexed, Array.of_list originals))
+      buckets
+  in
+  Array.iteri
+    (fun c (fs, _) ->
+      if Array.length fs = 0 then
+        invalid_arg (Printf.sprintf "Multi_sfc.make: chain %d has no flows" c))
+    per_chain_and_originals;
+  {
+    cm;
+    flows = Array.copy flows;
+    spec;
+    per_chain = Array.map fst per_chain_and_originals;
+    originals = Array.map snd per_chain_and_originals;
+  }
+
+let num_chains t = Array.length t.spec.chains
+
+let flows_of_chain t c = Array.map (fun id -> t.flows.(id)) t.originals.(c)
+
+type placement = Placement.t array
+
+(* Rate vector of chain [c]'s re-indexed flows, projected from the global
+   rates. *)
+let project_rates t c rates =
+  Array.map (fun id -> rates.(id)) t.originals.(c)
+
+let sub_problem t c ~candidates =
+  Problem.make ~switch_candidates:candidates ~cm:t.cm ~flows:t.per_chain.(c)
+    ~n:(Chain.length t.spec.chains.(c))
+    ()
+
+let all_switches t =
+  Graph.switches (Ppdc_topology.Cost_matrix.graph t.cm)
+
+let candidates_excluding t ~taken =
+  Array.of_list
+    (List.filter
+       (fun s -> not (Hashtbl.mem taken s))
+       (Array.to_list (all_switches t)))
+
+let validate t placement =
+  if Array.length placement <> num_chains t then
+    invalid_arg "Multi_sfc.validate: one placement per chain expected";
+  let taken = Hashtbl.create 16 in
+  Array.iteri
+    (fun c p ->
+      if Array.length p <> Chain.length t.spec.chains.(c) then
+        invalid_arg (Printf.sprintf "Multi_sfc.validate: chain %d length" c);
+      Array.iter
+        (fun s ->
+          if Hashtbl.mem taken s then
+            invalid_arg
+              (Printf.sprintf "Multi_sfc.validate: switch %d used twice" s);
+          Hashtbl.add taken s ())
+        p;
+      (* Per-chain structural validity on the unrestricted instance. *)
+      let problem = sub_problem t c ~candidates:(all_switches t) in
+      Placement.validate problem p)
+    placement
+
+let total_cost t ~rates placement =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun c p ->
+      let problem = sub_problem t c ~candidates:(all_switches t) in
+      let sub_rates = project_rates t c rates in
+      acc := !acc +. Cost.comm_cost problem ~rates:sub_rates p)
+    placement;
+  !acc
+
+type outcome = { placement : placement; cost : float }
+
+(* Chains in descending order of their current total traffic: the
+   heaviest chain chooses its switches first. *)
+let chain_order t ~rates =
+  let weights =
+    Array.init (num_chains t) (fun c ->
+        (Flow.total_rate (project_rates t c rates), c))
+  in
+  Array.sort (fun (a, _) (b, _) -> compare b a) weights;
+  Array.map snd weights
+
+let place t ~rates =
+  let taken = Hashtbl.create 16 in
+  let placement = Array.make (num_chains t) [||] in
+  Array.iter
+    (fun c ->
+      let problem = sub_problem t c ~candidates:(candidates_excluding t ~taken) in
+      let sub_rates = project_rates t c rates in
+      let out = Placement_dp.solve problem ~rates:sub_rates () in
+      placement.(c) <- out.placement;
+      Array.iter (fun s -> Hashtbl.add taken s ()) out.placement)
+    (chain_order t ~rates);
+  { placement; cost = total_cost t ~rates placement }
+
+let migrate t ~rates ~mu ~current =
+  if Array.length current <> num_chains t then
+    invalid_arg "Multi_sfc.migrate: one placement per chain expected";
+  (* Unprocessed chains pin their current switches; processed chains pin
+     their new ones. *)
+  let taken = Hashtbl.create 16 in
+  Array.iter (Array.iter (fun s -> Hashtbl.replace taken s ())) current;
+  let placement = Array.map Array.copy current in
+  let migration_cost = ref 0.0 in
+  let moves = ref 0 in
+  Array.iter
+    (fun c ->
+      Array.iter (fun s -> Hashtbl.remove taken s) placement.(c);
+      let candidates = candidates_excluding t ~taken in
+      let problem = sub_problem t c ~candidates in
+      let sub_rates = project_rates t c rates in
+      let out =
+        Mpareto.migrate problem ~rates:sub_rates ~mu ~current:placement.(c) ()
+      in
+      placement.(c) <- out.migration;
+      migration_cost := !migration_cost +. out.migration_cost;
+      moves := !moves + out.moved;
+      Array.iter (fun s -> Hashtbl.replace taken s ()) placement.(c))
+    (chain_order t ~rates);
+  let comm = total_cost t ~rates placement in
+  ({ placement; cost = comm +. !migration_cost }, !migration_cost, !moves)

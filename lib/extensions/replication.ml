@@ -1,0 +1,129 @@
+open Ppdc_core
+module Flow = Ppdc_traffic.Flow
+
+type t = { replicas : int array array }
+
+let validate problem t =
+  let n = Problem.n problem in
+  if Array.length t.replicas <> n then
+    invalid_arg "Replication.validate: one replica set per VNF expected";
+  let owner = Hashtbl.create 16 in
+  Array.iteri
+    (fun j copies ->
+      if Array.length copies = 0 then
+        invalid_arg (Printf.sprintf "Replication.validate: VNF %d has no copy" j);
+      Array.iter
+        (fun s ->
+          if not (Problem.is_candidate problem s) then
+            invalid_arg
+              (Printf.sprintf "Replication.validate: %d is not a candidate" s);
+          match Hashtbl.find_opt owner s with
+          | Some j' when j' <> j ->
+              invalid_arg
+                (Printf.sprintf
+                   "Replication.validate: switch %d hosts VNFs %d and %d" s j' j)
+          | Some _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Replication.validate: duplicate copy of VNF %d at %d" j s)
+          | None -> Hashtbl.add owner s j)
+        copies)
+    t.replicas
+
+let of_placement p = { replicas = Array.map (fun s -> [| s |]) p }
+
+let flow_route_cost problem t ~src ~dst =
+  let n = Array.length t.replicas in
+  let d = Problem.cost problem in
+  (* Viterbi over replica layers. *)
+  let layer = ref (Array.map (fun s -> d src s) t.replicas.(0)) in
+  for j = 1 to n - 1 do
+    let previous = !layer and prev_copies = t.replicas.(j - 1) in
+    layer :=
+      Array.map
+        (fun s ->
+          let best = ref infinity in
+          Array.iteri
+            (fun a p ->
+              let candidate = previous.(a) +. d p s in
+              if candidate < !best then best := candidate)
+            prev_copies;
+          !best)
+        t.replicas.(j)
+  done;
+  let best = ref infinity in
+  Array.iteri
+    (fun a s ->
+      let candidate = !layer.(a) +. d s dst in
+      if candidate < !best then best := candidate)
+    t.replicas.(n - 1);
+  !best
+
+let comm_cost problem ~rates t =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (f : Flow.t) ->
+      let rate = rates.(f.id) in
+      if rate > 0.0 then
+        acc :=
+          !acc +. (rate *. flow_route_cost problem t ~src:f.src_host ~dst:f.dst_host))
+    (Problem.flows problem);
+  !acc
+
+let total_replicas t =
+  Array.fold_left (fun acc copies -> acc + Array.length copies) 0 t.replicas
+
+type outcome = {
+  deployment : t;
+  cost : float;
+  added : int;
+}
+
+let place problem ~rates ~budget =
+  if budget < 0 then invalid_arg "Replication.place: negative budget";
+  let base = (Placement_dp.solve problem ~rates ()).placement in
+  let deployment = ref (of_placement base) in
+  let cost = ref (comm_cost problem ~rates !deployment) in
+  let used = Hashtbl.create 16 in
+  Array.iter (fun s -> Hashtbl.add used s ()) base;
+  let switches = Problem.switches problem in
+  let added = ref 0 in
+  let improved = ref true in
+  while !added < budget && !improved do
+    improved := false;
+    let best_gain = ref 0.0 in
+    let best_move = ref None in
+    Array.iteri
+      (fun j copies ->
+        Array.iter
+          (fun s ->
+            if not (Hashtbl.mem used s) then begin
+              let candidate =
+                {
+                  replicas =
+                    Array.mapi
+                      (fun j' c ->
+                        if j' = j then Array.append c [| s |] else c)
+                      !deployment.replicas;
+                }
+              in
+              let candidate_cost = comm_cost problem ~rates candidate in
+              let gain = !cost -. candidate_cost in
+              if gain > !best_gain +. 1e-9 then begin
+                best_gain := gain;
+                best_move := Some (candidate, candidate_cost, s)
+              end
+            end)
+          switches;
+        ignore copies)
+      !deployment.replicas;
+    match !best_move with
+    | Some (candidate, candidate_cost, s) ->
+        deployment := candidate;
+        cost := candidate_cost;
+        Hashtbl.add used s ();
+        incr added;
+        improved := true
+    | None -> ()
+  done;
+  { deployment = !deployment; cost = !cost; added = !added }

@@ -1,0 +1,55 @@
+(** Future-work extension: VNF replication as an alternative to
+    migration.
+
+    The paper's conclusion asks "to which extent VNF replication could be
+    beneficial in terms of dynamic traffic mitigation when compared to
+    VNF migration". Here each VNF [f_j] may run [r_j >= 1] replicas on
+    distinct switches; a flow is free to use whichever replica of each
+    position is best for it, so its policy-preserving route cost is
+
+    {v
+      min over (a_1..a_n)  c(src, p_1^{a_1})
+                         + Σ_j c(p_j^{a_j}, p_{j+1}^{a_{j+1}})
+                         + c(p_n^{a_n}, dst)
+    v}
+
+    which is a per-flow Viterbi pass over the replica layers,
+    O(n · r²). Replicas are placed once (no migration): starting from
+    the Algo. 3 single-copy placement, a greedy loop spends a replica
+    [budget] one copy at a time on the (position, switch) pair with the
+    largest cost reduction. The [ext_replication] experiment compares a
+    replicated-but-static chain against mPareto migration over a
+    diurnal day. *)
+
+type t = { replicas : int array array }
+(** [replicas.(j)] are the switches hosting copies of [f_{j+1}]; every
+    array is non-empty and duplicate-free, and no switch hosts two
+    copies of different VNFs. *)
+
+val validate : Ppdc_core.Problem.t -> t -> unit
+
+val of_placement : Ppdc_core.Placement.t -> t
+(** Single-copy deployment (degenerates to the paper's model). *)
+
+val flow_route_cost :
+  Ppdc_core.Problem.t -> t -> src:int -> dst:int -> float
+(** Cheapest replica-aware route of one flow (the Viterbi pass). *)
+
+val comm_cost : Ppdc_core.Problem.t -> rates:float array -> t -> float
+(** Total replica-aware communication cost: Σ_i λ_i · route_i. With
+    single copies this equals Eq. 1. *)
+
+val total_replicas : t -> int
+
+type outcome = {
+  deployment : t;
+  cost : float;  (** replica-aware [comm_cost] under the given rates *)
+  added : int;  (** replicas placed beyond the base chain *)
+}
+
+val place :
+  Ppdc_core.Problem.t -> rates:float array -> budget:int -> outcome
+(** Greedy replication: Algo. 3 base placement plus up to [budget] extra
+    replicas, each chosen to maximize the marginal cost reduction; stops
+    early when no replica helps. Raises [Invalid_argument] if
+    [budget < 0]. *)

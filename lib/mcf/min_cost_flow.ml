@@ -1,0 +1,180 @@
+module Pqueue = Ppdc_prelude.Pqueue
+
+(* Arcs are stored in one growable array; arc 2i and 2i+1 are a
+   forward/residual pair (xor-pairing). *)
+type t = {
+  num_nodes : int;
+  mutable arc_to : int array;
+  mutable arc_cap : int array;
+  mutable arc_cost : float array;
+  mutable arc_count : int;
+  mutable head : int list array;  (* arc indices leaving each node *)
+  mutable solved : bool;
+}
+
+type arc = int
+
+let create ~num_nodes =
+  if num_nodes <= 0 then invalid_arg "Min_cost_flow.create: need nodes";
+  {
+    num_nodes;
+    arc_to = Array.make 16 0;
+    arc_cap = Array.make 16 0;
+    arc_cost = Array.make 16 0.0;
+    arc_count = 0;
+    head = Array.make num_nodes [];
+    solved = false;
+  }
+
+let grow t =
+  let capacity = Array.length t.arc_to in
+  let extend arr zero =
+    let fresh = Array.make (2 * capacity) zero in
+    Array.blit arr 0 fresh 0 t.arc_count;
+    fresh
+  in
+  t.arc_to <- extend t.arc_to 0;
+  t.arc_cap <- extend t.arc_cap 0;
+  t.arc_cost <- extend t.arc_cost 0.0
+
+let push_raw t ~dst ~capacity ~cost =
+  if t.arc_count = Array.length t.arc_to then grow t;
+  let id = t.arc_count in
+  t.arc_to.(id) <- dst;
+  t.arc_cap.(id) <- capacity;
+  t.arc_cost.(id) <- cost;
+  t.arc_count <- t.arc_count + 1;
+  id
+
+let add_arc t ~src ~dst ~capacity ~cost =
+  if t.solved then invalid_arg "Min_cost_flow.add_arc: network already solved";
+  if src < 0 || src >= t.num_nodes || dst < 0 || dst >= t.num_nodes then
+    invalid_arg "Min_cost_flow.add_arc: node out of range";
+  if capacity < 0 then invalid_arg "Min_cost_flow.add_arc: negative capacity";
+  if not (Float.is_finite cost) then
+    invalid_arg "Min_cost_flow.add_arc: non-finite cost";
+  let forward = push_raw t ~dst ~capacity ~cost in
+  let _backward = push_raw t ~dst:src ~capacity:0 ~cost:(-.cost) in
+  t.head.(src) <- forward :: t.head.(src);
+  t.head.(dst) <- (forward lxor 1) :: t.head.(dst);
+  forward
+
+type result = { flow : int; cost : float }
+
+(* Bellman-Ford over residual arcs to obtain initial potentials; detects
+   negative cycles. *)
+let initial_potentials t ~source =
+  let dist = Array.make t.num_nodes infinity in
+  dist.(source) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > t.num_nodes then
+      invalid_arg "Min_cost_flow.solve: negative-cost cycle";
+    for u = 0 to t.num_nodes - 1 do
+      if dist.(u) < infinity then
+        List.iter
+          (fun a ->
+            if t.arc_cap.(a) > 0 then begin
+              let v = t.arc_to.(a) in
+              let candidate = dist.(u) +. t.arc_cost.(a) in
+              if candidate < dist.(v) -. 1e-12 then begin
+                dist.(v) <- candidate;
+                changed := true
+              end
+            end)
+          t.head.(u)
+    done
+  done;
+  Array.map (fun d -> if d = infinity then 0.0 else d) dist
+
+let solve ?(max_flow = max_int) t ~source ~sink =
+  if t.solved then invalid_arg "Min_cost_flow.solve: already solved";
+  if source < 0 || source >= t.num_nodes || sink < 0 || sink >= t.num_nodes
+  then invalid_arg "Min_cost_flow.solve: node out of range";
+  t.solved <- true;
+  if source = sink then { flow = 0; cost = 0.0 }
+  else begin
+    let potential = initial_potentials t ~source in
+    (* Freeze adjacency into flat arrays: the augmentation loop below
+       re-scans it thousands of times, and int arrays beat boxed lists by
+       a large constant. *)
+    let head = Array.map Array.of_list t.head in
+    let total_flow = ref 0 and total_cost = ref 0.0 in
+    let dist = Array.make t.num_nodes infinity in
+    let pred_arc = Array.make t.num_nodes (-1) in
+    let settled = Array.make t.num_nodes false in
+    let continue = ref true in
+    while !continue && !total_flow < max_flow do
+      (* Dijkstra on reduced costs, stopping once the sink is settled —
+         nodes beyond it cannot lie on the cheapest augmenting path. *)
+      Array.fill dist 0 t.num_nodes infinity;
+      Array.fill pred_arc 0 t.num_nodes (-1);
+      Array.fill settled 0 t.num_nodes false;
+      dist.(source) <- 0.0;
+      let queue = Pqueue.create () in
+      Pqueue.push queue 0.0 source;
+      let rec drain () =
+        match Pqueue.pop_min queue with
+        | None -> ()
+        | Some (d, u) ->
+            if not settled.(u) then begin
+              settled.(u) <- true;
+              if u <> sink then begin
+                let arcs = head.(u) in
+                for i = 0 to Array.length arcs - 1 do
+                  let a = arcs.(i) in
+                  if t.arc_cap.(a) > 0 then begin
+                    let v = t.arc_to.(a) in
+                    let reduced =
+                      t.arc_cost.(a) +. potential.(u) -. potential.(v)
+                    in
+                    let candidate = d +. Float.max 0.0 reduced in
+                    if candidate < dist.(v) then begin
+                      dist.(v) <- candidate;
+                      pred_arc.(v) <- a;
+                      Pqueue.push queue candidate v
+                    end
+                  end
+                done
+              end
+            end;
+            if not settled.(sink) then drain ()
+      in
+      drain ();
+      if dist.(sink) = infinity then continue := false
+      else begin
+        (* Partial potential update: settled nodes advance by their own
+           distance, everything else by the sink's — this keeps reduced
+           costs non-negative without finishing the Dijkstra. *)
+        let d_sink = dist.(sink) in
+        for v = 0 to t.num_nodes - 1 do
+          potential.(v) <- potential.(v) +. Float.min dist.(v) d_sink
+        done;
+        (* Bottleneck along the augmenting path. *)
+        let bottleneck = ref (max_flow - !total_flow) in
+        let v = ref sink in
+        while !v <> source do
+          let a = pred_arc.(!v) in
+          bottleneck := min !bottleneck t.arc_cap.(a);
+          v := t.arc_to.(a lxor 1)
+        done;
+        let v = ref sink in
+        while !v <> source do
+          let a = pred_arc.(!v) in
+          t.arc_cap.(a) <- t.arc_cap.(a) - !bottleneck;
+          t.arc_cap.(a lxor 1) <- t.arc_cap.(a lxor 1) + !bottleneck;
+          total_cost := !total_cost +. (float_of_int !bottleneck *. t.arc_cost.(a));
+          v := t.arc_to.(a lxor 1)
+        done;
+        total_flow := !total_flow + !bottleneck
+      end
+    done;
+    { flow = !total_flow; cost = !total_cost }
+  end
+
+let flow_on t a =
+  (* Flow on a forward arc equals the residual capacity of its pair. *)
+  t.arc_cap.(a lxor 1)

@@ -1,0 +1,39 @@
+(** Minimum-cost flow solver.
+
+    Substrate for the MCF VM-migration baseline of Flores et al. [24],
+    which casts "minimize total VM communication + migration cost" as a
+    min-cost-flow problem. The solver is successive shortest augmenting
+    paths with Johnson node potentials: Bellman–Ford initializes the
+    potentials (so negative arc costs are accepted as long as there is no
+    negative cycle), then each augmentation runs Dijkstra on reduced
+    costs. Capacities are integers; costs are floats.
+
+    Complexity: O(F · m log n) for total flow F. The baseline's instances
+    are small bipartite assignment networks, far below this bound. *)
+
+type t
+
+type arc
+(** Handle to an arc, for querying its final flow. *)
+
+val create : num_nodes:int -> t
+(** A network on nodes [0 .. num_nodes - 1] with no arcs. *)
+
+val add_arc : t -> src:int -> dst:int -> capacity:int -> cost:float -> arc
+(** Add a directed arc. Raises [Invalid_argument] on out-of-range nodes,
+    negative capacity, or a non-finite cost. Arcs may be added only
+    before [solve]. *)
+
+type result = {
+  flow : int;  (** total flow pushed from source to sink *)
+  cost : float;  (** Σ over arcs of flow · cost *)
+}
+
+val solve : ?max_flow:int -> t -> source:int -> sink:int -> result
+(** Push up to [max_flow] units (default: as much as possible) along
+    successively cheapest paths. May be called once per network. Raises
+    [Invalid_argument] if called twice, on a bad node, or if the network
+    contains a negative-cost cycle reachable from [source]. *)
+
+val flow_on : t -> arc -> int
+(** Flow routed on an arc after [solve]. *)

@@ -1,0 +1,81 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create () = { prio = Array.make 16 0.0; data = Array.make 16 None; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let grow q =
+  let capacity = Array.length q.prio in
+  let prio = Array.make (2 * capacity) 0.0 in
+  let data = Array.make (2 * capacity) None in
+  Array.blit q.prio 0 prio 0 q.size;
+  Array.blit q.data 0 data 0 q.size;
+  q.prio <- prio;
+  q.data <- data
+
+let swap q i j =
+  let p = q.prio.(i) and d = q.data.(i) in
+  q.prio.(i) <- q.prio.(j);
+  q.data.(i) <- q.data.(j);
+  q.prio.(j) <- p;
+  q.data.(j) <- d
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.prio.(i) < q.prio.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && q.prio.(left) < q.prio.(!smallest) then smallest := left;
+  if right < q.size && q.prio.(right) < q.prio.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q prio x =
+  if q.size = Array.length q.prio then grow q;
+  q.prio.(q.size) <- prio;
+  q.data.(q.size) <- Some x;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop_min q =
+  if q.size = 0 then None
+  else begin
+    let prio = q.prio.(0) in
+    let x =
+      match q.data.(0) with
+      | Some x -> x
+      | None -> assert false
+    in
+    q.size <- q.size - 1;
+    q.prio.(0) <- q.prio.(q.size);
+    q.data.(0) <- q.data.(q.size);
+    q.data.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
+    Some (prio, x)
+  end
+
+let peek_min q =
+  if q.size = 0 then None
+  else
+    match q.data.(0) with
+    | Some x -> Some (q.prio.(0), x)
+    | None -> assert false
+
+let clear q =
+  Array.fill q.data 0 q.size None;
+  q.size <- 0

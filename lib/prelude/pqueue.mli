@@ -1,0 +1,29 @@
+(** Imperative binary min-heap priority queue with [float] priorities.
+
+    Used by Dijkstra shortest paths, the primal-dual moat growing, and the
+    min-cost-flow solver. Elements are arbitrary; ties between equal
+    priorities are broken arbitrarily. All operations are O(log n) except
+    [is_empty], [length] and [create] which are O(1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty queue. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the element with smallest priority, or [None] if the
+    queue is empty. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** Return (without removing) the smallest element. *)
+
+val clear : 'a t -> unit
+(** Remove all elements, keeping the underlying storage. *)

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 constants, Steele et al., "Fast splittable pseudorandom
+   number generators" (OOPSLA 2014). *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias: draw 63 non-negative bits and
+     reject draws falling in the final partial bucket. *)
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+  let rec loop () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    if raw < limit then Int64.to_int (Int64.rem raw bound64) else loop ()
+  in
+  loop ()
+
+let float t bound =
+  (* 53 uniform bits mapped into [0, 1). *)
+  let raw = Int64.shift_right_logical (bits64 t) 11 in
+  let unit = Int64.to_float raw *. (1.0 /. 9007199254740992.0) in
+  unit *. bound
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

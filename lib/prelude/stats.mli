@@ -1,0 +1,34 @@
+(** Descriptive statistics for experiment reporting.
+
+    Each data point in the paper's plots is "an average of 20 runs with a
+    95% confidence interval"; [summary] computes exactly that. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  ci95 : float;  (** half-width of the 95% confidence interval *)
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 when fewer than two points. *)
+
+val stddev : float array -> float
+
+val summary : float array -> summary
+(** Full summary. The confidence interval uses Student's t critical value
+    for small n (two-sided 95%), converging to 1.96 for large n. Raises
+    [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [0,1]: linear-interpolation percentile
+    of the data. Raises [Invalid_argument] on an empty array or [q]
+    outside [0,1]. The input array is not modified. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Renders as ["mean ± ci95"]. *)

@@ -1,0 +1,43 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  set_size : int array;
+  mutable sets : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    set_size = Array.make n 1;
+    sets = n;
+  }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    t.sets <- t.sets - 1;
+    let low, high =
+      if t.rank.(ra) < t.rank.(rb) then (ra, rb) else (rb, ra)
+    in
+    t.parent.(low) <- high;
+    if t.rank.(low) = t.rank.(high) then t.rank.(high) <- t.rank.(high) + 1;
+    t.set_size.(high) <- t.set_size.(high) + t.set_size.(low);
+    high
+  end
+
+let same t a b = find t a = find t b
+
+let size t x = t.set_size.(find t x)
+
+let count_sets t = t.sets

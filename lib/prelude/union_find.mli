@@ -1,0 +1,27 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the primal-dual moat growing (component merging) and spanning
+    tree construction. Elements are the integers [0 .. n-1]. Amortized
+    near-O(1) per operation. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a forest of [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the given element. *)
+
+val union : t -> int -> int -> int
+(** [union t a b] merges the sets of [a] and [b] and returns the
+    representative of the merged set. Merging a set with itself is a
+    no-op returning its representative. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements are in the same set. *)
+
+val size : t -> int -> int
+(** Number of elements in the set containing the given element. *)
+
+val count_sets : t -> int
+(** Number of distinct sets currently in the forest. *)

@@ -1,0 +1,56 @@
+(** Discrete-hour PPDC day simulator.
+
+    Realizes the paper's lifecycle: the SFC is deployed at hour 0 (per
+    {!Scenario.initial} — by default before any traffic exists, since
+    Eq. 9 has τ_0 = 0), then the chosen migration policy runs once per
+    hour against the diurnal rate vector (Eq. 9 with the east/west
+    offset), and every hour is charged its migration traffic plus one
+    hour of communication traffic. This is the harness behind the
+    Fig. 11 experiments.
+
+    Policies:
+    - [Mpareto] — Algo. 5 VNF migration (the paper's contribution);
+    - [Optimal] — Algo. 6 branch-and-bound VNF migration (budgeted);
+    - [Mpareto_lookahead] — mPareto driven by a perfect one-hour traffic
+      forecast: the frontier is evaluated against the *average* of this
+      hour's and next hour's rate vectors, so the chain starts moving
+      toward where the traffic is going rather than where it is. An
+      upper-bound study of what prediction is worth (not in the paper);
+    - [Plan] / [Mcf] — the VM-migration baselines: the VNFs stay at the
+      initial placement and the VMs chase them;
+    - [No_migration] — the initial placement rides out the whole day. *)
+
+type policy = Mpareto | Optimal | Mpareto_lookahead | Plan | Mcf | No_migration
+
+val policy_name : policy -> string
+
+type hour_record = {
+  hour : int;
+  comm_cost : float;  (** one hour of [C_a] after the policy acted *)
+  migration_cost : float;  (** [C_b] (VNF) or VM migration traffic *)
+  migrations : int;  (** VNF moves or VM moves this hour *)
+  total_cost : float;  (** [comm_cost + migration_cost] *)
+}
+
+type run = {
+  policy : policy;
+  initial_placement : Ppdc_core.Placement.t;
+  hours : hour_record array;  (** hour 1 .. N *)
+  total_cost : float;
+  total_migrations : int;
+}
+
+val run_day : Scenario.t -> policy:policy -> run
+(** Simulate one day: choose the day-0 placement per the scenario's
+    {!Scenario.initial}, then let the policy act at every hour 1..N.
+    Deterministic given the scenario. *)
+
+val run_trace : Scenario.t -> policy:policy -> trace:Ppdc_traffic.Trace.t -> run
+(** Replay an arbitrary {!Ppdc_traffic.Trace} instead of the diurnal
+    model: the policy acts once per trace epoch. The trace's flows must
+    match the scenario's problem ([run_day scenario] is equivalent to
+    replaying [Trace.of_diurnal] of the scenario's flows). One caveat
+    for the VM-migration policies: the trace's *rates* are replayed
+    as-is, but the flow endpoints evolve with the policy's VM moves.
+    Raises [Invalid_argument] on a flow-count mismatch or empty
+    trace. *)

@@ -1,0 +1,46 @@
+(** Configuration of one simulated PPDC day.
+
+    Bundles the problem instance with the dynamic-traffic model and the
+    cost coefficients so every migration policy is charged identically.
+    A scenario is immutable; the engine copies what it mutates. *)
+
+type initial =
+  | Uninformed of int
+      (** the SFC is deployed before any traffic exists (Eq. 9 has
+          τ_0 = 0, so at deployment time every placement costs zero and
+          TOP has nothing to optimize): a seeded arbitrary placement.
+          This matches the paper's lifecycle and is what makes the
+          NoMigration baseline progressively expensive. *)
+  | Hour1
+      (** deploy with knowledge of the first hour's rates (Algo. 3 on the
+          hour-1 vector) — an idealized operator; used by the
+          [abl_initial] ablation. *)
+
+type t = {
+  problem : Ppdc_core.Problem.t;
+  diurnal : Ppdc_traffic.Diurnal.t;
+  mu : float;  (** VNF migration coefficient (paper: 10^4–10^5) *)
+  mu_vm : float;
+      (** VM migration coefficient for the PLAN/MCF baselines; defaults
+          to [mu] since containerized VNF and VM memory footprints are of
+          the same order (DESIGN.md §4) *)
+  pair_limit : int option;
+      (** ingress/egress candidate cap handed to {!Ppdc_core.Placement_dp}
+          inside mPareto — a scalability knob for k=16 runs *)
+  opt_budget : int;
+      (** branch-and-bound node budget for the Optimal migration policy *)
+  initial : initial;  (** how the day-0 placement is chosen *)
+}
+
+val make :
+  ?diurnal:Ppdc_traffic.Diurnal.t ->
+  ?mu:float ->
+  ?mu_vm:float ->
+  ?pair_limit:int ->
+  ?opt_budget:int ->
+  ?initial:initial ->
+  Ppdc_core.Problem.t ->
+  t
+(** Defaults: the paper's 12-hour diurnal model, [mu = 1e4],
+    [mu_vm = mu], no pair limit, 2-million-node optimal budget,
+    [Uninformed 0] deployment. *)

@@ -1,0 +1,39 @@
+type t = {
+  graph : Graph.t;
+  dist : float array array;  (* dist.(src).(dst) *)
+  pred : int array array;  (* pred.(src).(dst) on the tree rooted at src *)
+}
+
+let compute graph =
+  let n = Graph.num_nodes graph in
+  let dist = Array.make n [||] and pred = Array.make n [||] in
+  for src = 0 to n - 1 do
+    let d, p = Shortest_paths.dijkstra graph ~src in
+    Array.iter
+      (fun x ->
+        if x = infinity then
+          invalid_arg "Cost_matrix.compute: graph is not connected")
+      d;
+    dist.(src) <- d;
+    pred.(src) <- p
+  done;
+  { graph; dist; pred }
+
+let graph t = t.graph
+
+let cost t u v = t.dist.(u).(v)
+
+let path t ~src ~dst =
+  Shortest_paths.path_from_pred ~pred:t.pred.(src) ~src ~dst
+
+let switch_path t ~src ~dst =
+  List.filter (Graph.is_switch t.graph) (path t ~src ~dst)
+
+let hop_count t ~src ~dst = max 0 (List.length (path t ~src ~dst) - 1)
+
+let diameter t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left Float.max acc row)
+    0.0 t.dist
+
+let num_nodes t = Array.length t.dist

@@ -1,0 +1,39 @@
+(** All-pairs topology-aware cost model.
+
+    Precomputes [c(u, v)] — the total weight of a cheapest path between any
+    two nodes — for the whole PPDC, together with predecessor trees so
+    actual paths (needed by VNF migration frontiers) can be extracted.
+    This realizes the paper's topology-aware cost model: the communication
+    cost of flow [(v_i, v'_i)] is [λ_i · c(s(v_i), s(v'_i))] and migrating
+    a VNF from switch [u] to [v] costs [μ · c(u, v)].
+
+    Memory is Θ(|V|²); a k=16 fat-tree (1344 nodes) needs ≈ 30 MB. *)
+
+type t
+
+val compute : Graph.t -> t
+(** Run Dijkstra from every node. Raises [Invalid_argument] if the graph
+    is not connected (a PPDC is always connected). *)
+
+val graph : t -> Graph.t
+
+val cost : t -> int -> int -> float
+(** [cost t u v] is [c(u, v)]; 0 when [u = v]. *)
+
+val path : t -> src:int -> dst:int -> int list
+(** Node sequence of one cheapest path, inclusive of both endpoints;
+    [[src]] when [src = dst]. Deterministic for a given graph. *)
+
+val switch_path : t -> src:int -> dst:int -> int list
+(** [path] restricted to switch nodes. When both endpoints are switches
+    this is the sequence [S_j] of Definition 1 (VNF migration frontiers):
+    the switches a VNF passes while migrating from [src] to [dst]. *)
+
+val hop_count : t -> src:int -> dst:int -> int
+(** Number of edges on the extracted cheapest path. *)
+
+val diameter : t -> float
+(** Greatest cost between any pair of nodes (the [D] in Algo. 5's
+    complexity bound). *)
+
+val num_nodes : t -> int

@@ -1,0 +1,16 @@
+(** Graphviz (DOT) export of PPDC topologies.
+
+    For documentation and debugging: switches render as boxes, hosts as
+    ellipses, and an optional highlight set (e.g. the switches of a VNF
+    placement) is filled. Pipe through [dot -Tsvg] / [neato -Tpng] to
+    render. *)
+
+val of_graph :
+  ?highlight:int list ->
+  ?labels:(int -> string option) ->
+  Graph.t ->
+  string
+(** [of_graph g] is a complete [graph { ... }] document. [highlight]
+    fills the listed nodes; [labels] overrides a node's label (default:
+    [sN] for switches, [hN] for hosts, numbered within their kind). Edge
+    labels show non-unit weights. *)

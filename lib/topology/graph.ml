@@ -1,0 +1,107 @@
+type node_kind = Host | Switch
+
+type t = {
+  kinds : node_kind array;
+  adj : (int * float) array array;
+  edge_list : (int * int * float) array;  (* u < v *)
+  host_ids : int array;
+  switch_ids : int array;
+}
+
+let validate_edges kinds edges =
+  let n = Array.length kinds in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.make: edge (%d,%d) out of range" u v);
+      if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u);
+      if w <= 0.0 then
+        invalid_arg (Printf.sprintf "Graph.make: non-positive weight on (%d,%d)" u v);
+      if kinds.(u) = Host && kinds.(v) = Host then
+        invalid_arg (Printf.sprintf "Graph.make: host-host edge (%d,%d)" u v);
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Graph.make: duplicate edge (%d,%d)" u v);
+      Hashtbl.add seen key ())
+    edges
+
+let make ~kinds ~edges =
+  validate_edges kinds edges;
+  let n = Array.length kinds in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v, _) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun i -> Array.make deg.(i) (0, 0.0)) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v, w) ->
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, w);
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  let edge_list =
+    edges
+    |> List.map (fun (u, v, w) -> if u < v then (u, v, w) else (v, u, w))
+    |> List.sort compare
+    |> Array.of_list
+  in
+  let ids_of_kind k =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if kinds.(i) = k then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  {
+    kinds = Array.copy kinds;
+    adj;
+    edge_list;
+    host_ids = ids_of_kind Host;
+    switch_ids = ids_of_kind Switch;
+  }
+
+let num_nodes g = Array.length g.kinds
+let num_edges g = Array.length g.edge_list
+let num_hosts g = Array.length g.host_ids
+let num_switches g = Array.length g.switch_ids
+
+let kind g u = g.kinds.(u)
+let is_host g u = g.kinds.(u) = Host
+let is_switch g u = g.kinds.(u) = Switch
+
+let hosts g = Array.copy g.host_ids
+let switches g = Array.copy g.switch_ids
+
+let degree g u = Array.length g.adj.(u)
+
+let iter_neighbors g u f = Array.iter (fun (v, w) -> f v w) g.adj.(u)
+
+let neighbors g u = Array.to_list g.adj.(u)
+
+let edge_weight g u v =
+  let found = ref None in
+  iter_neighbors g u (fun x w -> if x = v then found := Some w);
+  !found
+
+let edges g = Array.to_list g.edge_list
+
+let map_weights g f =
+  let edges' =
+    List.map
+      (fun (u, v, w) ->
+        let w' = f u v w in
+        if w' <= 0.0 then
+          invalid_arg "Graph.map_weights: produced non-positive weight";
+        (u, v, w'))
+      (edges g)
+  in
+  make ~kinds:g.kinds ~edges:edges'
+
+let pp fmt g =
+  Format.fprintf fmt "graph{hosts=%d switches=%d edges=%d}" (num_hosts g)
+    (num_switches g) (num_edges g)

@@ -1,0 +1,60 @@
+module Rng = Ppdc_prelude.Rng
+
+type t = {
+  graph : Graph.t;
+  switches : int array;
+  hosts : int array;
+}
+
+let build ?(weight = fun () -> 1.0) ~rng ~num_switches ~extra_edges
+    ~hosts_per_switch () =
+  if num_switches < 1 then
+    invalid_arg "Random_topology.build: need at least one switch";
+  if extra_edges < 0 || hosts_per_switch < 0 then
+    invalid_arg "Random_topology.build: negative count";
+  let num_hosts = num_switches * hosts_per_switch in
+  let kinds =
+    Array.init (num_switches + num_hosts) (fun i ->
+        if i < num_switches then Graph.Switch else Graph.Host)
+  in
+  let present = Hashtbl.create (num_switches * 2) in
+  let edges = ref [] in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem present key) then begin
+      Hashtbl.add present key ();
+      edges := (u, v, weight ()) :: !edges;
+      true
+    end
+    else false
+  in
+  (* Random spanning tree: attach each switch to a uniformly random
+     earlier switch of a shuffled order. *)
+  let order = Array.init num_switches (fun i -> i) in
+  Rng.shuffle rng order;
+  for i = 1 to num_switches - 1 do
+    let parent = order.(Rng.int rng i) in
+    ignore (add order.(i) parent)
+  done;
+  (* Extra random switch-switch links. *)
+  let max_possible = num_switches * (num_switches - 1) / 2 in
+  let target = min extra_edges (max_possible - (num_switches - 1)) in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < target && !attempts < 50 * (target + 1) do
+    incr attempts;
+    let u = Rng.int rng num_switches and v = Rng.int rng num_switches in
+    if add u v then incr added
+  done;
+  (* Hosts. *)
+  for s = 0 to num_switches - 1 do
+    for h = 0 to hosts_per_switch - 1 do
+      ignore (add s (num_switches + (s * hosts_per_switch) + h))
+    done
+  done;
+  let graph = Graph.make ~kinds ~edges:!edges in
+  {
+    graph;
+    switches = Array.init num_switches (fun i -> i);
+    hosts = Array.init num_hosts (fun i -> num_switches + i);
+  }

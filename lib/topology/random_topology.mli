@@ -1,0 +1,27 @@
+(** Random connected data-center topologies (jellyfish-style).
+
+    The paper notes its problems and solutions "apply to any data center
+    topology"; this builder produces seeded random switch fabrics so the
+    algorithms can be exercised beyond fat-trees (tests, ablations). The
+    switch fabric is a uniform random spanning tree plus [extra_edges]
+    additional random switch-switch links, so it is always connected. *)
+
+type t = {
+  graph : Graph.t;
+  switches : int array;
+  hosts : int array;
+}
+
+val build :
+  ?weight:(unit -> float) ->
+  rng:Ppdc_prelude.Rng.t ->
+  num_switches:int ->
+  extra_edges:int ->
+  hosts_per_switch:int ->
+  unit ->
+  t
+(** [build ~rng ~num_switches ~extra_edges ~hosts_per_switch ()] makes a
+    connected random fabric; each switch carries [hosts_per_switch] hosts.
+    [weight] samples each link's weight (default: constant 1.0). Fewer
+    than [extra_edges] may be added if the switch graph saturates. Raises
+    [Invalid_argument] if [num_switches < 1] or counts are negative. *)

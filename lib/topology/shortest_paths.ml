@@ -1,0 +1,45 @@
+module Pqueue = Ppdc_prelude.Pqueue
+
+let dijkstra g ~src =
+  let n = Graph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Shortest_paths.dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let queue = Pqueue.create () in
+  dist.(src) <- 0.0;
+  pred.(src) <- src;
+  Pqueue.push queue 0.0 src;
+  let rec drain () =
+    match Pqueue.pop_min queue with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          Graph.iter_neighbors g u (fun v w ->
+              let candidate = d +. w in
+              if candidate < dist.(v) then begin
+                dist.(v) <- candidate;
+                pred.(v) <- u;
+                Pqueue.push queue candidate v
+              end
+              else if candidate = dist.(v) && u < pred.(v) then
+                (* Equal cost via a lower-numbered predecessor: keeps
+                   extracted paths deterministic; [v] is already queued at
+                   this priority so no re-push is needed. *)
+                pred.(v) <- u)
+        end;
+        drain ()
+  in
+  drain ();
+  (dist, pred)
+
+let path_from_pred ~pred ~src ~dst =
+  if pred.(dst) = -1 then []
+  else begin
+    let rec walk v acc =
+      if v = src then v :: acc
+      else walk pred.(v) (v :: acc)
+    in
+    walk dst []
+  end

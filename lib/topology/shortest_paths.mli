@@ -1,0 +1,13 @@
+(** Single-source shortest paths (Dijkstra with a binary heap). *)
+
+val dijkstra : Graph.t -> src:int -> float array * int array
+(** [dijkstra g ~src] returns [(dist, pred)]: [dist.(v)] is the cheapest
+    cost from [src] to [v] ([infinity] if unreachable) and [pred.(v)] is
+    [v]'s predecessor on one cheapest path ([src] for the source itself,
+    [-1] if unreachable). Ties are broken deterministically towards the
+    lowest-numbered neighbour, so extracted paths are stable across
+    runs. *)
+
+val path_from_pred : pred:int array -> src:int -> dst:int -> int list
+(** Reconstruct the node sequence [src; ...; dst] from a predecessor
+    array. Returns [[]] if [dst] is unreachable. *)

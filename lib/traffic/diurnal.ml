@@ -1,0 +1,24 @@
+type t = { hours : int; tau_min : float }
+
+let default = { hours = 12; tau_min = 0.2 }
+
+let tau m h =
+  if m.hours <= 0 || m.hours mod 2 <> 0 then
+    invalid_arg "Diurnal.tau: N must be even and positive";
+  let n = float_of_int m.hours in
+  if h <= 0 || h > m.hours then 0.0
+  else if h <= m.hours / 2 then
+    2.0 *. (float_of_int h /. n) *. (1.0 -. m.tau_min)
+  else 2.0 *. (float_of_int (m.hours - h) /. n) *. (1.0 -. m.tau_min)
+
+let coast_offset_hours = 3
+
+let scale m ~coast ~hour =
+  match (coast : Flow.coast) with
+  | East -> tau m hour
+  | West -> tau m (hour - coast_offset_hours)
+
+let rates_at m ~flows ~hour =
+  Array.map
+    (fun (f : Flow.t) -> f.base_rate *. scale m ~coast:f.coast ~hour)
+    flows

@@ -1,0 +1,23 @@
+type coast = East | West
+
+type t = {
+  id : int;
+  src_host : int;
+  dst_host : int;
+  base_rate : float;
+  coast : coast;
+}
+
+let make ~id ~src_host ~dst_host ~base_rate ~coast =
+  if id < 0 then invalid_arg "Flow.make: negative id";
+  if base_rate < 0.0 then invalid_arg "Flow.make: negative rate";
+  { id; src_host; dst_host; base_rate; coast }
+
+let base_rates flows = Array.map (fun f -> f.base_rate) flows
+
+let total_rate rates = Array.fold_left ( +. ) 0.0 rates
+
+let pp fmt f =
+  Format.fprintf fmt "flow%d(%d->%d, λ=%.1f, %s)" f.id f.src_host f.dst_host
+    f.base_rate
+    (match f.coast with East -> "east" | West -> "west")

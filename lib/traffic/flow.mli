@@ -1,0 +1,30 @@
+(** Pairwise VM flows.
+
+    The paper models east-west traffic as [l] pairs of communicating VMs
+    [(v_i, v'_i)] already placed on hosts; flow [i] has a traffic rate
+    [λ_i] that changes over time. A [Flow.t] records the static part (the
+    hosts of the two endpoint VMs, the base rate, and which US coast the
+    submitting user is on, for the diurnal model); the current rate vector
+    [λ] lives in a separate [float array] indexed by flow id. *)
+
+type coast = East | West
+
+type t = {
+  id : int;  (** dense index into the rate vector *)
+  src_host : int;  (** [s(v_i)] *)
+  dst_host : int;  (** [s(v'_i)] *)
+  base_rate : float;  (** peak rate [λ_i] before diurnal scaling *)
+  coast : coast;
+}
+
+val make :
+  id:int -> src_host:int -> dst_host:int -> base_rate:float -> coast:coast -> t
+(** Raises [Invalid_argument] on a negative rate or id. *)
+
+val base_rates : t array -> float array
+(** The rate vector [⟨λ_1, ..., λ_l⟩] at full (base) intensity. *)
+
+val total_rate : float array -> float
+(** [Σ_i λ_i] — the multiplier of the chain-internal cost in Eq. 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+module Rng = Ppdc_prelude.Rng
+module Fat_tree = Ppdc_topology.Fat_tree
+
+type rate_mix = {
+  light_share : float;
+  light_range : float * float;
+  medium_share : float;
+  medium_range : float * float;
+  heavy_range : float * float;
+}
+
+let facebook_mix =
+  {
+    light_share = 0.25;
+    light_range = (0.0, 3000.0);
+    medium_share = 0.70;
+    medium_range = (3000.0, 7000.0);
+    heavy_range = (7000.0, 10000.0);
+  }
+
+let sample_rate rng mix =
+  let bucket = Rng.float rng 1.0 in
+  let lo, hi =
+    if bucket < mix.light_share then mix.light_range
+    else if bucket < mix.light_share +. mix.medium_share then mix.medium_range
+    else mix.heavy_range
+  in
+  Rng.uniform rng ~lo ~hi
+
+let coast_of_index i = if i mod 2 = 0 then Flow.East else Flow.West
+
+(* Rack-popularity sampler. [skew = 0] is uniform; [skew > 0] draws rack
+   ranks from a Zipf law with that exponent, with the rank->rack mapping
+   shuffled so the hot racks land anywhere in the fabric. Production
+   measurements (Roy et al., SIGCOMM 2015) report exactly this kind of
+   heavy rack skew. *)
+let rack_sampler rng ~skew ~num_racks =
+  if skew <= 0.0 then fun () -> Rng.int rng num_racks
+  else begin
+    let order = Array.init num_racks (fun i -> i) in
+    Rng.shuffle rng order;
+    let cumulative = Array.make num_racks 0.0 in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i _ ->
+        total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) skew);
+        cumulative.(i) <- !total)
+      cumulative;
+    fun () ->
+      let x = Rng.float rng !total in
+      (* cumulative is sorted: binary search for the first entry >= x. *)
+      let lo = ref 0 and hi = ref (num_racks - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cumulative.(mid) >= x then hi := mid else lo := mid + 1
+      done;
+      order.(!lo)
+  end
+
+let generate_on_fat_tree ?(rack_locality = 0.8) ?(rack_skew = 0.0)
+    ?(mix = facebook_mix) ~rng ~l ft =
+  if l < 0 then invalid_arg "Workload.generate_on_fat_tree: negative l";
+  if rack_locality < 0.0 || rack_locality > 1.0 then
+    invalid_arg "Workload.generate_on_fat_tree: rack_locality outside [0,1]";
+  if rack_skew < 0.0 then
+    invalid_arg "Workload.generate_on_fat_tree: negative rack_skew";
+  let num_racks = Fat_tree.num_racks ft in
+  let sample_rack = rack_sampler rng ~skew:rack_skew ~num_racks in
+  (* Coast follows the source pod: jobs of one region land in one half of
+     the data center, so the diurnal offset moves the traffic hotspot
+     across the fabric over the day (the effect the paper's time-zone
+     model is after). *)
+  let west_from_pod = (ft.Fat_tree.k + 1) / 2 in
+  Array.init l (fun i ->
+      let src_rack = sample_rack () in
+      let src_host = Rng.pick rng (Fat_tree.hosts_of_rack ft src_rack) in
+      let dst_rack =
+        if Rng.float rng 1.0 < rack_locality || num_racks = 1 then src_rack
+        else begin
+          (* A fresh popularity draw, rejecting the source rack. *)
+          let rec other () =
+            let r = sample_rack () in
+            if r = src_rack then other () else r
+          in
+          other ()
+        end
+      in
+      let dst_host = Rng.pick rng (Fat_tree.hosts_of_rack ft dst_rack) in
+      let coast =
+        if Fat_tree.pod_of_host ft src_host < west_from_pod then Flow.East
+        else Flow.West
+      in
+      Flow.make ~id:i ~src_host ~dst_host ~base_rate:(sample_rate rng mix)
+        ~coast)
+
+let generate_on_hosts ?(mix = facebook_mix) ~rng ~l ~hosts () =
+  if l < 0 then invalid_arg "Workload.generate_on_hosts: negative l";
+  if Array.length hosts = 0 then
+    invalid_arg "Workload.generate_on_hosts: no hosts";
+  Array.init l (fun i ->
+      Flow.make ~id:i ~src_host:(Rng.pick rng hosts)
+        ~dst_host:(Rng.pick rng hosts) ~base_rate:(sample_rate rng mix)
+        ~coast:(coast_of_index i))
+
+let redraw_rates ?(mix = facebook_mix) ~rng flows =
+  Array.map (fun (_ : Flow.t) -> sample_rate rng mix) flows

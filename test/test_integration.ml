@@ -1,0 +1,149 @@
+(* Integration tests: the experiment registry end-to-end (every paper
+   artifact regenerates without error in quick mode) plus cross-library
+   flows that exercise the whole stack. *)
+
+module Mode = Ppdc_experiments.Mode
+module Registry = Ppdc_experiments.Registry
+module Table = Ppdc_prelude.Table
+module Rng = Ppdc_prelude.Rng
+module Fat_tree = Ppdc_topology.Fat_tree
+module Random_topology = Ppdc_topology.Random_topology
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Workload = Ppdc_traffic.Workload
+module Flow = Ppdc_traffic.Flow
+open Ppdc_core
+
+let test_registry_ids_unique () =
+  let ids = Registry.ids () in
+  Alcotest.(check int) "no duplicate ids"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_registry_find () =
+  Alcotest.(check bool) "fig9 exists" true (Registry.find "fig9" <> None);
+  Alcotest.(check bool) "case-insensitive" true (Registry.find "FIG9" <> None);
+  Alcotest.(check bool) "unknown id" true (Registry.find "fig99" = None)
+
+(* Each experiment regenerates in quick mode and yields renderable,
+   non-empty tables. Split per experiment so a failure names itself. *)
+let experiment_case (e : Registry.entry) =
+  Alcotest.test_case e.id `Slow (fun () ->
+      let tables = e.run Mode.Quick in
+      Alcotest.(check bool) "at least one table" true (tables <> []);
+      List.iter
+        (fun t ->
+          let rendered = Table.to_string t in
+          Alcotest.(check bool)
+            (Table.title t ^ " renders")
+            true
+            (String.length rendered > 0);
+          let csv = Table.to_csv t in
+          Alcotest.(check bool)
+            (Table.title t ^ " has data rows")
+            true
+            (List.length (String.split_on_char '\n' csv) > 2))
+        tables)
+
+(* The TOP -> TOM pipeline on a topology the paper never drew: a random
+   jellyfish-style fabric. Everything must still hold ("the problems and
+   solutions apply to any data center topology"). *)
+let test_pipeline_on_random_topology () =
+  let rng = Rng.create 5 in
+  let rt =
+    Random_topology.build
+      ~weight:(fun () -> Rng.uniform rng ~lo:0.5 ~hi:2.5)
+      ~rng ~num_switches:25 ~extra_edges:15 ~hosts_per_switch:2 ()
+  in
+  let cm = Cost_matrix.compute rt.graph in
+  let flows = Workload.generate_on_hosts ~rng ~l:15 ~hosts:rt.hosts () in
+  let problem = Problem.make ~cm ~flows ~n:4 () in
+  let rates = Flow.base_rates flows in
+  let dp = Placement_dp.solve problem ~rates () in
+  Placement.validate problem dp.placement;
+  let opt = Placement_opt.solve problem ~rates () in
+  Alcotest.(check bool) "optimal proved" true opt.proven_optimal;
+  Alcotest.(check bool) "dp >= opt" true (dp.cost >= opt.cost -. 1e-9);
+  let rates' = Workload.redraw_rates ~rng flows in
+  let mp =
+    Mpareto.migrate problem ~rates:rates' ~mu:10.0 ~current:dp.placement ()
+  in
+  Placement.validate problem mp.migration;
+  let stay = Cost.comm_cost problem ~rates:rates' dp.placement in
+  Alcotest.(check bool) "migration never hurts" true
+    (mp.total_cost <= stay +. 1e-9);
+  let baselines_total =
+    let s = Ppdc_baselines.Steering.place problem ~rates in
+    let g = Ppdc_baselines.Greedy_liu.place problem ~rates in
+    Placement.validate problem s.placement;
+    Placement.validate problem g.placement;
+    s.cost +. g.cost
+  in
+  Alcotest.(check bool) "baselines produced finite costs" true
+    (Float.is_finite baselines_total)
+
+(* The Fig. 2 scenario: a k=4 fat-tree with an SFC of 3 VNFs and two
+   flows of very different rates; the heavy flow's route must end up
+   shorter than the light flow's. *)
+let test_fig2_heavy_flow_gets_short_route () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let heavy_src = ft.hosts.(0) and heavy_dst = ft.hosts.(1) in
+  let light_src = ft.hosts.(8) and light_dst = ft.hosts.(15) in
+  let flows =
+    [|
+      Flow.make ~id:0 ~src_host:heavy_src ~dst_host:heavy_dst ~base_rate:100.0
+        ~coast:East;
+      Flow.make ~id:1 ~src_host:light_src ~dst_host:light_dst ~base_rate:1.0
+        ~coast:West;
+    |]
+  in
+  let problem = Problem.make ~cm ~flows ~n:3 () in
+  let rates = Flow.base_rates flows in
+  let p = (Placement_opt.solve problem ~rates ()).placement in
+  let route src dst =
+    Cost_matrix.cost cm src p.(0)
+    +. Cost.chain_cost problem p
+    +. Cost_matrix.cost cm p.(2) dst
+  in
+  Alcotest.(check bool) "heavy route shorter than light route" true
+    (route heavy_src heavy_dst <= route light_src light_dst)
+
+(* Chain catalogue. *)
+let test_chain_module () =
+  let c = Chain.typical 5 in
+  Alcotest.(check int) "length" 5 (Chain.length c);
+  Alcotest.(check string) "ingress is the firewall" "firewall" (Chain.name c 0);
+  Alcotest.(check bool) "access functions first" true
+    (Chain.kind c 0 = Chain.Access);
+  Alcotest.(check bool) "13 VNFs max" true
+    (try
+       ignore (Chain.typical 14);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicates rejected" true
+    (try
+       ignore (Chain.make [| "a"; "a" |]);
+       false
+     with Invalid_argument _ -> true);
+  let custom = Chain.make [| "fw"; "cache" |] in
+  Alcotest.(check (array string)) "names round-trip" [| "fw"; "cache" |]
+    (Chain.names custom)
+
+let () =
+  Alcotest.run "ppdc_integration"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "unique ids" `Quick test_registry_ids_unique;
+          Alcotest.test_case "lookup" `Quick test_registry_find;
+        ] );
+      ("experiments-run", List.map experiment_case Registry.all);
+      ( "cross-library",
+        [
+          Alcotest.test_case "full pipeline on a random topology" `Quick
+            test_pipeline_on_random_topology;
+          Alcotest.test_case "Fig. 2: heavy flow gets the short route" `Quick
+            test_fig2_heavy_flow_gets_short_route;
+          Alcotest.test_case "chain catalogue" `Quick test_chain_module;
+        ] );
+    ]

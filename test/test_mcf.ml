@@ -1,0 +1,251 @@
+module Mcf = Ppdc_mcf.Min_cost_flow
+module Rng = Ppdc_prelude.Rng
+
+let test_single_path () =
+  let net = Mcf.create ~num_nodes:3 in
+  let a = Mcf.add_arc net ~src:0 ~dst:1 ~capacity:5 ~cost:2.0 in
+  let b = Mcf.add_arc net ~src:1 ~dst:2 ~capacity:3 ~cost:1.0 in
+  let r = Mcf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow limited by bottleneck" 3 r.flow;
+  Alcotest.(check (float 1e-9)) "cost" 9.0 r.cost;
+  Alcotest.(check int) "arc a carries 3" 3 (Mcf.flow_on net a);
+  Alcotest.(check int) "arc b carries 3" 3 (Mcf.flow_on net b)
+
+let test_prefers_cheap_path () =
+  (* Two parallel paths 0->1->3 (cost 1+1) and 0->2->3 (cost 5+5); one
+     unit should take the cheap one. *)
+  let net = Mcf.create ~num_nodes:4 in
+  let cheap = Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1.0 in
+  ignore (Mcf.add_arc net ~src:1 ~dst:3 ~capacity:1 ~cost:1.0);
+  let dear = Mcf.add_arc net ~src:0 ~dst:2 ~capacity:1 ~cost:5.0 in
+  ignore (Mcf.add_arc net ~src:2 ~dst:3 ~capacity:1 ~cost:5.0);
+  let r = Mcf.solve ~max_flow:1 net ~source:0 ~sink:3 in
+  Alcotest.(check int) "one unit" 1 r.flow;
+  Alcotest.(check (float 1e-9)) "cheapest route" 2.0 r.cost;
+  Alcotest.(check int) "cheap arc used" 1 (Mcf.flow_on net cheap);
+  Alcotest.(check int) "dear arc idle" 0 (Mcf.flow_on net dear)
+
+let test_residual_rerouting () =
+  (* Classic example where the second augmentation must push flow back
+     over the first path's arc. *)
+  let net = Mcf.create ~num_nodes:4 in
+  ignore (Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1.0);
+  ignore (Mcf.add_arc net ~src:0 ~dst:2 ~capacity:1 ~cost:10.0);
+  ignore (Mcf.add_arc net ~src:1 ~dst:2 ~capacity:1 ~cost:(-8.0));
+  ignore (Mcf.add_arc net ~src:1 ~dst:3 ~capacity:1 ~cost:10.0);
+  ignore (Mcf.add_arc net ~src:2 ~dst:3 ~capacity:1 ~cost:1.0);
+  let r = Mcf.solve net ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow 2" 2 r.flow;
+  (* Optimal: 0-1-2-3 = 1-8+1 = -6 and 0-2 impossible (cap used) ->
+     0-1? arc capacity 1... routes: unit A 0-1-2-3 (-6), unit B
+     0-2(10)+2-3 used... 2-3 capacity 1 taken, so B: 0-1 full.
+     Actually only paths: A: 0-1-2-3 cost -6; then B must use 0-2 and
+     2-3 is saturated; residual 3-2 reverses A to 0-1-3: B effective
+     0-2 (10), push back 2-1 (+8), 1-3 (10) => total A'+B' =
+     0-1-2-3 & 0-2-1-3 = (1 -8 1) + (10 8 10) = 22? Let the solver
+     decide; assert against brute force instead. *)
+  Alcotest.(check (float 1e-9)) "min cost" 22.0 (r.cost +. 0.0)
+
+let test_disconnected_sink () =
+  let net = Mcf.create ~num_nodes:3 in
+  ignore (Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1.0);
+  let r = Mcf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "no flow" 0 r.flow;
+  Alcotest.(check (float 1e-9)) "no cost" 0.0 r.cost
+
+let test_solve_twice_rejected () =
+  let net = Mcf.create ~num_nodes:2 in
+  ignore (Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1.0);
+  ignore (Mcf.solve net ~source:0 ~sink:1);
+  Alcotest.(check bool) "second solve raises" true
+    (try
+       ignore (Mcf.solve net ~source:0 ~sink:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_add_arc_validation () =
+  let net = Mcf.create ~num_nodes:2 in
+  let reject name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "bad node" (fun () -> Mcf.add_arc net ~src:0 ~dst:9 ~capacity:1 ~cost:1.0);
+  reject "negative capacity" (fun () ->
+      Mcf.add_arc net ~src:0 ~dst:1 ~capacity:(-1) ~cost:1.0);
+  reject "nan cost" (fun () ->
+      Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:Float.nan)
+
+(* Brute-force check on random assignment problems: n workers to n jobs,
+   min total cost. The MCF solution must match exhaustive search. *)
+let brute_force_assignment costs =
+  let n = Array.length costs in
+  let best = ref infinity in
+  let used = Array.make n false in
+  let rec go worker acc =
+    if acc < !best then begin
+      if worker = n then best := acc
+      else
+        for job = 0 to n - 1 do
+          if not used.(job) then begin
+            used.(job) <- true;
+            go (worker + 1) (acc +. costs.(worker).(job));
+            used.(job) <- false
+          end
+        done
+    end
+  in
+  go 0 0.0;
+  !best
+
+let mcf_assignment costs =
+  let n = Array.length costs in
+  (* nodes: 0 = source, 1..n workers, n+1..2n jobs, 2n+1 sink *)
+  let net = Mcf.create ~num_nodes:((2 * n) + 2) in
+  let sink = (2 * n) + 1 in
+  for w = 0 to n - 1 do
+    ignore (Mcf.add_arc net ~src:0 ~dst:(1 + w) ~capacity:1 ~cost:0.0);
+    for j = 0 to n - 1 do
+      ignore
+        (Mcf.add_arc net ~src:(1 + w) ~dst:(1 + n + j) ~capacity:1
+           ~cost:costs.(w).(j))
+    done
+  done;
+  for j = 0 to n - 1 do
+    ignore (Mcf.add_arc net ~src:(1 + n + j) ~dst:sink ~capacity:1 ~cost:0.0)
+  done;
+  let r = Mcf.solve net ~source:0 ~sink in
+  Alcotest.(check int) "perfect assignment" n r.flow;
+  r.cost
+
+let test_assignment_matches_brute_force () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 4 in
+    let costs =
+      Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 100.0))
+    in
+    Alcotest.(check (float 1e-6)) "assignment optimal"
+      (brute_force_assignment costs) (mcf_assignment costs)
+  done
+
+(* Transportation problem with host capacities > 1, checked against an
+   exhaustive assignment search. *)
+let brute_force_transport costs capacity =
+  let workers = Array.length costs in
+  let slots = Array.length costs.(0) in
+  let used = Array.make slots 0 in
+  let best = ref infinity in
+  let rec go w acc =
+    if acc < !best then begin
+      if w = workers then best := acc
+      else
+        for j = 0 to slots - 1 do
+          if used.(j) < capacity then begin
+            used.(j) <- used.(j) + 1;
+            go (w + 1) (acc +. costs.(w).(j));
+            used.(j) <- used.(j) - 1
+          end
+        done
+    end
+  in
+  go 0 0.0;
+  !best
+
+let mcf_transport costs capacity =
+  let workers = Array.length costs in
+  let slots = Array.length costs.(0) in
+  let net = Mcf.create ~num_nodes:(2 + workers + slots) in
+  let sink = 1 + workers + slots in
+  for w = 0 to workers - 1 do
+    ignore (Mcf.add_arc net ~src:0 ~dst:(1 + w) ~capacity:1 ~cost:0.0);
+    for j = 0 to slots - 1 do
+      ignore
+        (Mcf.add_arc net ~src:(1 + w) ~dst:(1 + workers + j) ~capacity:1
+           ~cost:costs.(w).(j))
+    done
+  done;
+  for j = 0 to slots - 1 do
+    ignore (Mcf.add_arc net ~src:(1 + workers + j) ~dst:sink ~capacity ~cost:0.0)
+  done;
+  let r = Mcf.solve net ~source:0 ~sink in
+  Alcotest.(check int) "all workers placed" workers r.flow;
+  r.cost
+
+let test_transport_matches_brute_force () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 15 do
+    let workers = 3 + Rng.int rng 3 in
+    let slots = 2 + Rng.int rng 2 in
+    let capacity = 2 + Rng.int rng 2 in
+    if workers <= slots * capacity then begin
+      let costs =
+        Array.init workers (fun _ ->
+            Array.init slots (fun _ -> Rng.float rng 50.0))
+      in
+      Alcotest.(check (float 1e-6)) "transport optimal"
+        (brute_force_transport costs capacity)
+        (mcf_transport costs capacity)
+    end
+  done
+
+let test_max_flow_cap_respected () =
+  let net = Mcf.create ~num_nodes:2 in
+  ignore (Mcf.add_arc net ~src:0 ~dst:1 ~capacity:10 ~cost:1.0);
+  let r = Mcf.solve ~max_flow:4 net ~source:0 ~sink:1 in
+  Alcotest.(check int) "flow capped" 4 r.flow;
+  Alcotest.(check (float 1e-9)) "cost of 4 units" 4.0 r.cost
+
+let prop_flow_conservation =
+  QCheck.Test.make ~name:"cost is sum of arc flows times costs" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 6 in
+      let net = Mcf.create ~num_nodes:n in
+      let arcs = ref [] in
+      for _ = 1 to 12 do
+        let src = Rng.int rng (n - 1) in
+        let dst = 1 + Rng.int rng (n - 1) in
+        if src <> dst then begin
+          let cost = Rng.float rng 10.0 in
+          let capacity = 1 + Rng.int rng 3 in
+          let a = Mcf.add_arc net ~src ~dst ~capacity ~cost in
+          arcs := (a, cost) :: !arcs
+        end
+      done;
+      let r = Mcf.solve net ~source:0 ~sink:(n - 1) in
+      let recomputed =
+        List.fold_left
+          (fun acc (a, c) -> acc +. (float_of_int (Mcf.flow_on net a) *. c))
+          0.0 !arcs
+      in
+      Float.abs (recomputed -. r.cost) < 1e-6)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ppdc_mcf"
+    [
+      ( "min-cost-flow",
+        [
+          Alcotest.test_case "single path bottleneck" `Quick test_single_path;
+          Alcotest.test_case "prefers cheaper path" `Quick
+            test_prefers_cheap_path;
+          Alcotest.test_case "reroutes through residual arcs" `Quick
+            test_residual_rerouting;
+          Alcotest.test_case "disconnected sink" `Quick test_disconnected_sink;
+          Alcotest.test_case "double solve rejected" `Quick
+            test_solve_twice_rejected;
+          Alcotest.test_case "arc validation" `Quick test_add_arc_validation;
+          Alcotest.test_case "assignment matches brute force" `Quick
+            test_assignment_matches_brute_force;
+          Alcotest.test_case "capacitated transport matches brute force"
+            `Quick test_transport_matches_brute_force;
+          Alcotest.test_case "max_flow cap respected" `Quick
+            test_max_flow_cap_respected;
+        ] );
+      qsuite "mcf-properties" [ prop_flow_conservation ];
+    ]

@@ -1,0 +1,263 @@
+module Pqueue = Ppdc_prelude.Pqueue
+module Union_find = Ppdc_prelude.Union_find
+module Rng = Ppdc_prelude.Rng
+module Stats = Ppdc_prelude.Stats
+module Table = Ppdc_prelude.Table
+
+(* --- priority queue -------------------------------------------------- *)
+
+let test_pqueue_orders () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.push q p (int_of_float p)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ ->
+      match Pqueue.pop_min q with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] order;
+  Alcotest.(check bool) "empty after drain" true (Pqueue.is_empty q)
+
+let test_pqueue_peek_and_clear () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek_min q = None);
+  Pqueue.push q 2.0 "b";
+  Pqueue.push q 1.0 "a";
+  (match Pqueue.peek_min q with
+  | Some (p, x) ->
+      Alcotest.(check (float 0.0)) "peek priority" 1.0 p;
+      Alcotest.(check string) "peek value" "a" x
+  | None -> Alcotest.fail "expected an element");
+  Alcotest.(check int) "length" 2 (Pqueue.length q);
+  Pqueue.clear q;
+  Alcotest.(check int) "cleared" 0 (Pqueue.length q)
+
+let test_pqueue_grows () =
+  let q = Pqueue.create () in
+  for i = 1000 downto 1 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  Alcotest.(check int) "holds 1000" 1000 (Pqueue.length q);
+  (match Pqueue.pop_min q with
+  | Some (_, x) -> Alcotest.(check int) "min of 1000" 1 x
+  | None -> Alcotest.fail "expected an element")
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue pops in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q p i) priorities;
+      let rec drain acc =
+        match Pqueue.pop_min q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare priorities)
+
+(* --- union-find ------------------------------------------------------- *)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check int) "six singletons" 6 (Union_find.count_sets uf);
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "0~1" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "0!~2" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check bool) "0~3 after chain" true (Union_find.same uf 0 3);
+  Alcotest.(check int) "set size" 4 (Union_find.size uf 2);
+  Alcotest.(check int) "three sets" 3 (Union_find.count_sets uf)
+
+let test_union_find_self_union () =
+  let uf = Union_find.create 3 in
+  let r = Union_find.union uf 1 1 in
+  Alcotest.(check int) "self union is no-op" (Union_find.find uf 1) r;
+  Alcotest.(check int) "still 3 sets" 3 (Union_find.count_sets uf)
+
+let prop_union_find_transitive =
+  QCheck.Test.make ~name:"union-find equivalence is transitive" ~count:100
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun unions ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) unions;
+      (* Check transitivity on all triples. *)
+      let ok = ref true in
+      for a = 0 to 19 do
+        for b = 0 to 19 do
+          for c = 0 to 19 do
+            if
+              Union_find.same uf a b && Union_find.same uf b c
+              && not (Union_find.same uf a c)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "int in bound" true (x >= 0 && x < 10);
+    let f = Rng.uniform rng ~lo:2.0 ~hi:5.0 in
+    Alcotest.(check bool) "uniform in range" true (f >= 2.0 && f < 5.0)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_shuffle_is_permutation () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 (fun i -> i))
+
+let test_rng_uniformity_rough () =
+  (* chi-square-ish sanity: 10 buckets, 10k draws, each bucket within
+     [800, 1200]. *)
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced" i)
+        true
+        (c > 800 && c < 1200))
+    buckets
+
+(* --- stats ------------------------------------------------------------- *)
+
+let test_stats_known_values () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "sample variance" (32.0 /. 7.0) (Stats.variance xs)
+
+let test_stats_summary_ci () =
+  let xs = Array.make 20 10.0 in
+  let s = Stats.summary xs in
+  Alcotest.(check (float 1e-9)) "mean of constants" 10.0 s.mean;
+  Alcotest.(check (float 1e-9)) "zero ci" 0.0 s.ci95;
+  Alcotest.(check int) "n" 20 s.n
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.percentile xs 1.0);
+  Alcotest.(check (float 1e-9)) "interpolated" 1.5 (Stats.percentile xs 0.125)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "summary of empty"
+    (Invalid_argument "Stats.summary: empty data") (fun () ->
+      ignore (Stats.summary [||]))
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean lies within min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let s = Stats.summary arr in
+      s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+(* --- table ------------------------------------------------------------- *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" ~columns:[ "x"; "y" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "10"; "20" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "has row" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> l = "10  20"))
+
+let test_table_rejects_bad_row () =
+  let t = Table.create ~title:"demo" ~columns:[ "x"; "y" ] in
+  Alcotest.(check bool) "raises on arity mismatch" true
+    (try
+       Table.add_row t [ "1" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_csv_quotes () =
+  let t = Table.create ~title:"q" ~columns:[ "a" ] in
+  Table.add_row t [ "x,y" ];
+  Table.add_row t [ "pla\"in" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "comma cell quoted" true
+    (String.split_on_char '\n' csv |> List.exists (fun l -> l = "\"x,y\""));
+  Alcotest.(check bool) "quote escaped" true
+    (String.split_on_char '\n' csv
+    |> List.exists (fun l -> l = "\"pla\"\"in\""))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ppdc_prelude"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "pops in priority order" `Quick test_pqueue_orders;
+          Alcotest.test_case "peek and clear" `Quick test_pqueue_peek_and_clear;
+          Alcotest.test_case "grows past initial capacity" `Quick
+            test_pqueue_grows;
+        ] );
+      qsuite "pqueue-properties" [ prop_pqueue_sorts ];
+      ( "union-find",
+        [
+          Alcotest.test_case "union and find" `Quick test_union_find_basic;
+          Alcotest.test_case "self union" `Quick test_union_find_self_union;
+        ] );
+      qsuite "union-find-properties" [ prop_union_find_transitive ];
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick
+            test_rng_deterministic;
+          Alcotest.test_case "split gives a fresh stream" `Quick
+            test_rng_split_independence;
+          Alcotest.test_case "draws respect bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "rejects non-positive bound" `Quick
+            test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_is_permutation;
+          Alcotest.test_case "rough uniformity" `Quick test_rng_uniformity_rough;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known mean and variance" `Quick
+            test_stats_known_values;
+          Alcotest.test_case "summary of constants" `Quick test_stats_summary_ci;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+          Alcotest.test_case "empty input raises" `Quick test_stats_empty_raises;
+        ] );
+      qsuite "stats-properties" [ prop_stats_mean_bounds ];
+      ( "table",
+        [
+          Alcotest.test_case "aligned rendering" `Quick test_table_renders;
+          Alcotest.test_case "arity checking" `Quick test_table_rejects_bad_row;
+          Alcotest.test_case "csv quoting" `Quick test_table_csv_quotes;
+        ] );
+    ]

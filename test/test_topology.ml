@@ -1,0 +1,381 @@
+module Graph = Ppdc_topology.Graph
+module Fat_tree = Ppdc_topology.Fat_tree
+module Linear = Ppdc_topology.Linear
+module Random_topology = Ppdc_topology.Random_topology
+module Shortest_paths = Ppdc_topology.Shortest_paths
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Rng = Ppdc_prelude.Rng
+
+(* --- graph ------------------------------------------------------------- *)
+
+let tiny_graph () =
+  (* switches 0,1,2 in a triangle with uneven weights, host 3 at switch 0,
+     host 4 at switch 2. *)
+  Graph.make
+    ~kinds:[| Switch; Switch; Switch; Host; Host |]
+    ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 5.0); (0, 3, 1.0); (2, 4, 1.0) ]
+
+let test_graph_counts () =
+  let g = tiny_graph () in
+  Alcotest.(check int) "nodes" 5 (Graph.num_nodes g);
+  Alcotest.(check int) "edges" 5 (Graph.num_edges g);
+  Alcotest.(check int) "hosts" 2 (Graph.num_hosts g);
+  Alcotest.(check int) "switches" 3 (Graph.num_switches g);
+  Alcotest.(check int) "degree of 0" 3 (Graph.degree g 0)
+
+let test_graph_edge_weight () =
+  let g = tiny_graph () in
+  Alcotest.(check (option (float 0.0))) "existing" (Some 5.0)
+    (Graph.edge_weight g 0 2);
+  Alcotest.(check (option (float 0.0))) "symmetric" (Some 5.0)
+    (Graph.edge_weight g 2 0);
+  Alcotest.(check (option (float 0.0))) "missing" None (Graph.edge_weight g 1 3)
+
+let test_graph_rejections () =
+  let kinds = [| Graph.Switch; Graph.Host; Graph.Host |] in
+  let reject name edges =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Graph.make ~kinds ~edges);
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "self loop" [ (0, 0, 1.0) ];
+  reject "host-host edge" [ (1, 2, 1.0) ];
+  reject "zero weight" [ (0, 1, 0.0) ];
+  reject "duplicate edge" [ (0, 1, 1.0); (1, 0, 2.0) ];
+  reject "out of range" [ (0, 7, 1.0) ]
+
+let test_graph_map_weights () =
+  let g = tiny_graph () in
+  let doubled = Graph.map_weights g (fun _ _ w -> 2.0 *. w) in
+  Alcotest.(check (option (float 0.0))) "doubled" (Some 10.0)
+    (Graph.edge_weight doubled 0 2)
+
+(* --- fat tree ---------------------------------------------------------- *)
+
+let test_fat_tree_sizes () =
+  List.iter
+    (fun k ->
+      let ft = Fat_tree.build k in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d hosts" k)
+        (k * k * k / 4)
+        (Graph.num_hosts ft.graph);
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d switches" k)
+        (5 * k * k / 4)
+        (Graph.num_switches ft.graph);
+      (* Edge count: (k/2)^2 * k core links + (k/2)^2 * k agg-edge links +
+         k^3/4 host links. *)
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d edges" k)
+        ((k * k * k / 4) + (k * k * k / 4) + (k * k * k / 4))
+        (Graph.num_edges ft.graph))
+    [ 2; 4; 8 ]
+
+let test_fat_tree_k2_is_fig1_linear () =
+  (* The paper notes its k=2 fat-tree is the Fig. 1 linear PPDC: 5 switches
+     in a path, hosts at both ends. *)
+  let ft = Fat_tree.build 2 in
+  let cm = Cost_matrix.compute ft.graph in
+  let h1 = ft.hosts.(0) and h2 = ft.hosts.(1) in
+  Alcotest.(check (float 0.0)) "host-host distance 6" 6.0
+    (Cost_matrix.cost cm h1 h2)
+
+let test_fat_tree_host_structure () =
+  let ft = Fat_tree.build 4 in
+  Alcotest.(check int) "16 hosts" 16 (Array.length ft.hosts);
+  Alcotest.(check int) "8 racks" 8 (Fat_tree.num_racks ft);
+  Array.iter
+    (fun h ->
+      let rack = Fat_tree.rack_of_host ft h in
+      let esw = Fat_tree.edge_switch_of_host ft h in
+      Alcotest.(check bool) "host adjacent to its edge switch" true
+        (Graph.edge_weight ft.graph h esw <> None);
+      Alcotest.(check bool) "host listed in its rack" true
+        (Array.exists (( = ) h) (Fat_tree.hosts_of_rack ft rack)))
+    ft.hosts
+
+let test_fat_tree_pods () =
+  let ft = Fat_tree.build 4 in
+  (* Hosts 0,1 share rack 0 in pod 0; the last host lives in pod 3. *)
+  Alcotest.(check int) "pod of first host" 0 (Fat_tree.pod_of_host ft ft.hosts.(0));
+  Alcotest.(check int) "pod of last host" 3
+    (Fat_tree.pod_of_host ft ft.hosts.(15))
+
+let test_fat_tree_distances () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let same_rack = Cost_matrix.cost cm ft.hosts.(0) ft.hosts.(1) in
+  let same_pod = Cost_matrix.cost cm ft.hosts.(0) ft.hosts.(2) in
+  let cross_pod = Cost_matrix.cost cm ft.hosts.(0) ft.hosts.(15) in
+  Alcotest.(check (float 0.0)) "same rack = 2 hops" 2.0 same_rack;
+  Alcotest.(check (float 0.0)) "same pod = 4 hops" 4.0 same_pod;
+  Alcotest.(check (float 0.0)) "cross pod = 6 hops" 6.0 cross_pod
+
+let test_fat_tree_rejects_odd_k () =
+  Alcotest.(check bool) "odd k" true
+    (try
+       ignore (Fat_tree.build 3);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- linear ------------------------------------------------------------ *)
+
+let test_linear_structure () =
+  let lin = Linear.build ~num_switches:5 () in
+  Alcotest.(check int) "5 switches" 5 (Graph.num_switches lin.graph);
+  Alcotest.(check int) "2 hosts" 2 (Graph.num_hosts lin.graph);
+  let cm = Cost_matrix.compute lin.graph in
+  Alcotest.(check (float 0.0)) "end-to-end = 6" 6.0
+    (Cost_matrix.cost cm lin.hosts.(0) lin.hosts.(1))
+
+let test_linear_custom_hosts () =
+  let lin = Linear.build ~num_switches:4 ~host_positions:[ 1; 1; 3 ] () in
+  Alcotest.(check int) "3 hosts" 3 (Graph.num_hosts lin.graph);
+  let cm = Cost_matrix.compute lin.graph in
+  Alcotest.(check (float 0.0)) "co-located hosts 2 apart" 2.0
+    (Cost_matrix.cost cm lin.hosts.(0) lin.hosts.(1))
+
+(* --- leaf-spine --------------------------------------------------------- *)
+
+let test_leaf_spine_structure () =
+  let ls =
+    Ppdc_topology.Leaf_spine.build ~spines:4 ~leaves:6 ~hosts_per_leaf:3 ()
+  in
+  Alcotest.(check int) "switches" 10 (Graph.num_switches ls.graph);
+  Alcotest.(check int) "hosts" 18 (Graph.num_hosts ls.graph);
+  Alcotest.(check int) "links" ((4 * 6) + 18) (Graph.num_edges ls.graph);
+  let cm = Cost_matrix.compute ls.graph in
+  (* Same-rack hosts are 2 apart, cross-rack exactly 4. *)
+  Alcotest.(check (float 0.0)) "same rack" 2.0
+    (Cost_matrix.cost cm ls.hosts.(0) ls.hosts.(1));
+  Alcotest.(check (float 0.0)) "cross rack" 4.0
+    (Cost_matrix.cost cm ls.hosts.(0) ls.hosts.(17));
+  (* Spines are 2 hops from every host. *)
+  Array.iter
+    (fun h ->
+      Alcotest.(check (float 0.0)) "spine equidistance" 2.0
+        (Cost_matrix.cost cm ls.spines.(0) h))
+    ls.hosts
+
+let test_leaf_spine_host_mapping () =
+  let ls =
+    Ppdc_topology.Leaf_spine.build ~spines:2 ~leaves:3 ~hosts_per_leaf:2 ()
+  in
+  Array.iteri
+    (fun i h ->
+      let leaf = Ppdc_topology.Leaf_spine.leaf_of_host ls h in
+      Alcotest.(check int) "leaf by index" ls.leaves.(i / 2) leaf;
+      Alcotest.(check bool) "host adjacent to its leaf" true
+        (Graph.edge_weight ls.graph h leaf <> None))
+    ls.hosts;
+  Alcotest.(check bool) "rejects counts < 1" true
+    (try
+       ignore (Ppdc_topology.Leaf_spine.build ~spines:0 ~leaves:1 ~hosts_per_leaf:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- random topology ---------------------------------------------------- *)
+
+let test_random_topology_connected () =
+  for seed = 1 to 5 do
+    let rng = Rng.create seed in
+    let rt =
+      Random_topology.build ~rng ~num_switches:30 ~extra_edges:20
+        ~hosts_per_switch:2 ()
+    in
+    Alcotest.(check int) "hosts" 60 (Graph.num_hosts rt.graph);
+    (* compute raises if disconnected *)
+    ignore (Cost_matrix.compute rt.graph)
+  done
+
+let test_random_topology_deterministic () =
+  let build seed =
+    let rng = Rng.create seed in
+    (Random_topology.build ~rng ~num_switches:10 ~extra_edges:5
+       ~hosts_per_switch:1 ())
+      .graph |> Graph.edges
+  in
+  Alcotest.(check bool) "same seed, same graph" true (build 3 = build 3);
+  Alcotest.(check bool) "different seed differs" true (build 3 <> build 4)
+
+(* --- shortest paths ------------------------------------------------------ *)
+
+let test_dijkstra_simple () =
+  let g = tiny_graph () in
+  let dist, pred = Shortest_paths.dijkstra g ~src:0 in
+  Alcotest.(check (float 0.0)) "to self" 0.0 dist.(0);
+  Alcotest.(check (float 0.0)) "around the heavy edge" 2.0 dist.(2);
+  Alcotest.(check (list int)) "path avoids the weight-5 edge" [ 0; 1; 2 ]
+    (Shortest_paths.path_from_pred ~pred ~src:0 ~dst:2)
+
+let test_cost_matrix_metric_properties () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let n = Cost_matrix.num_nodes cm in
+  for u = 0 to n - 1 do
+    Alcotest.(check (float 0.0)) "identity" 0.0 (Cost_matrix.cost cm u u)
+  done;
+  let rng = Rng.create 9 in
+  for _ = 1 to 200 do
+    let u = Rng.int rng n and v = Rng.int rng n and w = Rng.int rng n in
+    let d a b = Cost_matrix.cost cm a b in
+    Alcotest.(check (float 1e-9)) "symmetry" (d u v) (d v u);
+    Alcotest.(check bool) "triangle inequality" true
+      (d u w <= d u v +. d v w +. 1e-9)
+  done
+
+let test_cost_matrix_paths_consistent () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let rng = Rng.create 13 in
+  let n = Cost_matrix.num_nodes cm in
+  for _ = 1 to 100 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let p = Cost_matrix.path cm ~src:u ~dst:v in
+    (* Path endpoints and length match the cost (unit weights). *)
+    (match p with
+    | [] -> Alcotest.fail "connected graph must give a path"
+    | first :: _ ->
+        Alcotest.(check int) "starts at src" u first;
+        Alcotest.(check int) "ends at dst" v (List.nth p (List.length p - 1)));
+    Alcotest.(check (float 1e-9)) "hop count = cost on unit weights"
+      (Cost_matrix.cost cm u v)
+      (float_of_int (List.length p - 1))
+  done
+
+let test_cost_matrix_switch_path () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let sp =
+    Cost_matrix.switch_path cm ~src:ft.hosts.(0) ~dst:ft.hosts.(15)
+  in
+  Alcotest.(check int) "cross-pod switch path has 5 switches" 5
+    (List.length sp);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "all switches" true (Graph.is_switch ft.graph v))
+    sp
+
+let test_diameter () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  Alcotest.(check (float 0.0)) "k=4 fat-tree diameter (host to host)" 6.0
+    (Cost_matrix.diameter cm)
+
+let test_disconnected_rejected () =
+  let g =
+    Graph.make
+      ~kinds:[| Switch; Switch; Host |]
+      ~edges:[ (0, 2, 1.0) ]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Cost_matrix.compute g);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_dijkstra_tree_consistent =
+  QCheck.Test.make ~name:"dijkstra distances obey edge relaxations" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let rt =
+        Random_topology.build
+          ~weight:(fun () -> Rng.uniform rng ~lo:0.5 ~hi:3.0)
+          ~rng ~num_switches:15 ~extra_edges:10 ~hosts_per_switch:1 ()
+      in
+      let dist, _ = Shortest_paths.dijkstra rt.graph ~src:0 in
+      let ok = ref true in
+      List.iter
+        (fun (u, v, w) ->
+          if dist.(v) > dist.(u) +. w +. 1e-9 then ok := false;
+          if dist.(u) > dist.(v) +. w +. 1e-9 then ok := false)
+        (Graph.edges rt.graph);
+      !ok)
+
+(* --- dot export ----------------------------------------------------------- *)
+
+let test_dot_export () =
+  let g = tiny_graph () in
+  let dot = Ppdc_topology.Dot.of_graph ~highlight:[ 1 ] g in
+  Alcotest.(check bool) "document shape" true
+    (String.length dot > 0
+    && String.sub dot 0 11 = "graph ppdc "
+    && dot.[String.length dot - 2] = '}');
+  let contains needle =
+    let nl = String.length needle and dl = String.length dot in
+    let rec go i = i + nl <= dl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "switch labelled s0" true (contains "label=\"s0\"");
+  Alcotest.(check bool) "host labelled h0" true (contains "label=\"h0\"");
+  Alcotest.(check bool) "highlight filled" true (contains "fillcolor");
+  Alcotest.(check bool) "weighted edge labelled" true (contains "[label=\"5\"]");
+  Alcotest.(check bool) "five edges" true
+    (List.length (String.split_on_char '-' dot) > 5)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ppdc_topology"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "counts" `Quick test_graph_counts;
+          Alcotest.test_case "edge weights" `Quick test_graph_edge_weight;
+          Alcotest.test_case "invalid inputs rejected" `Quick
+            test_graph_rejections;
+          Alcotest.test_case "map_weights" `Quick test_graph_map_weights;
+        ] );
+      ( "fat-tree",
+        [
+          Alcotest.test_case "node and edge counts" `Quick test_fat_tree_sizes;
+          Alcotest.test_case "k=2 equals Fig. 1's linear PPDC" `Quick
+            test_fat_tree_k2_is_fig1_linear;
+          Alcotest.test_case "host/rack structure" `Quick
+            test_fat_tree_host_structure;
+          Alcotest.test_case "pod indexing" `Quick test_fat_tree_pods;
+          Alcotest.test_case "hop distances" `Quick test_fat_tree_distances;
+          Alcotest.test_case "odd k rejected" `Quick test_fat_tree_rejects_odd_k;
+        ] );
+      ( "linear",
+        [
+          Alcotest.test_case "Fig. 1 chain" `Quick test_linear_structure;
+          Alcotest.test_case "custom host positions" `Quick
+            test_linear_custom_hosts;
+        ] );
+      ( "leaf-spine",
+        [
+          Alcotest.test_case "structure and distances" `Quick
+            test_leaf_spine_structure;
+          Alcotest.test_case "host/leaf mapping" `Quick
+            test_leaf_spine_host_mapping;
+        ] );
+      ( "random-topology",
+        [
+          Alcotest.test_case "always connected" `Quick
+            test_random_topology_connected;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_random_topology_deterministic;
+        ] );
+      ( "shortest-paths",
+        [
+          Alcotest.test_case "dijkstra picks the cheap detour" `Quick
+            test_dijkstra_simple;
+          Alcotest.test_case "metric: identity/symmetry/triangle" `Quick
+            test_cost_matrix_metric_properties;
+          Alcotest.test_case "extracted paths match costs" `Quick
+            test_cost_matrix_paths_consistent;
+          Alcotest.test_case "switch-only paths" `Quick
+            test_cost_matrix_switch_path;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          Alcotest.test_case "disconnected graphs rejected" `Quick
+            test_disconnected_rejected;
+        ] );
+      ( "dot",
+        [ Alcotest.test_case "graphviz export" `Quick test_dot_export ] );
+      qsuite "shortest-paths-properties" [ prop_dijkstra_tree_consistent ];
+    ]
