@@ -22,9 +22,11 @@ open Ppdc_core
 
 let run_experiments mode =
   Printf.printf
-    "=== PPDC paper-reproduction harness (mode: %s; set PPDC_BENCH_MODE=full \
-     for paper-scale parameters) ===\n\n"
-    (Mode.name mode);
+    "=== PPDC paper-reproduction harness (mode: %s; domains: %d; set \
+     PPDC_BENCH_MODE=full for paper-scale parameters, PPDC_DOMAINS=1 for \
+     the sequential path) ===\n\n"
+    (Mode.name mode)
+    (Ppdc_prelude.Parallel.domain_count ());
   List.iter
     (fun (e : Registry.entry) ->
       Printf.printf "--- %s: %s ---\n" e.id e.summary;

@@ -50,13 +50,40 @@ let weighted_arg =
   let doc = "Use uniform link delays (mean 1.5, variance 0.5) instead of hop counts." in
   Arg.(value & flag & info [ "weighted" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Number of OCaml domains for the parallel sections (all-pairs \
+     shortest paths, DP placement, experiment trials). Defaults to \
+     $(b,PPDC_DOMAINS) or the machine's recommended domain count; 1 \
+     forces the exact-sequential path. Results are identical for every \
+     value."
+  in
+  let domain_count =
+    let parse s =
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> Ok d
+      | Some _ -> Error (`Msg "expected a domain count of at least 1")
+      | None -> Error (`Msg "expected an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some domain_count) None
+    & info [ "j"; "domains" ] ~docv:"DOMAINS" ~doc)
+
+let apply_domains = function
+  | None -> ()
+  | Some d -> Ppdc_prelude.Parallel.set_domains d
+
 let problem_of ~weighted ~k ~l ~n ~seed =
   Runner.fat_tree_problem ~weighted ~k ~l ~n ~seed ()
 
 (* --- topology ----------------------------------------------------------- *)
 
 let topology_cmd =
-  let run k dot =
+  let run j k dot =
+    apply_domains j;
     let ft, cm = Runner.unweighted_fat_tree k in
     if dot then
       print_string (Ppdc_topology.Dot.of_graph ft.Ppdc_topology.Fat_tree.graph)
@@ -80,7 +107,8 @@ let topology_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc)
   in
   let doc = "Inspect a fat-tree PPDC topology." in
-  Cmd.v (Cmd.info "topology" ~doc) Term.(const run $ k_arg $ dot_arg)
+  Cmd.v (Cmd.info "topology" ~doc)
+    Term.(const run $ domains_arg $ k_arg $ dot_arg)
 
 (* --- place --------------------------------------------------------------- *)
 
@@ -92,7 +120,8 @@ let place_algo_arg =
     & info [ "algo" ] ~docv:"ALGO" ~doc)
 
 let place_cmd =
-  let run k l n seed weighted algo =
+  let run j k l n seed weighted algo =
+    apply_domains j;
     let problem = problem_of ~weighted ~k ~l ~n ~seed in
     let rates = Flow.base_rates (Problem.flows problem) in
     let name, placement, cost =
@@ -117,7 +146,9 @@ let place_cmd =
   in
   let doc = "Place an SFC with one of the TOP algorithms." in
   Cmd.v (Cmd.info "place" ~doc)
-    Term.(const run $ k_arg $ l_arg $ n_arg $ seed_arg $ weighted_arg $ place_algo_arg)
+    Term.(
+      const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg
+      $ weighted_arg $ place_algo_arg)
 
 (* --- migrate -------------------------------------------------------------- *)
 
@@ -133,7 +164,8 @@ let migrate_algo_arg =
     & info [ "algo" ] ~docv:"ALGO" ~doc)
 
 let migrate_cmd =
-  let run k l n seed weighted mu algo =
+  let run j k l n seed weighted mu algo =
+    apply_domains j;
     let problem = problem_of ~weighted ~k ~l ~n ~seed in
     let rates0 = Flow.base_rates (Problem.flows problem) in
     let current = (Placement_dp.solve problem ~rates:rates0 ()).placement in
@@ -171,8 +203,8 @@ let migrate_cmd =
   let doc = "Migrate after a traffic redraw with one of the TOM algorithms." in
   Cmd.v (Cmd.info "migrate" ~doc)
     Term.(
-      const run $ k_arg $ l_arg $ n_arg $ seed_arg $ weighted_arg $ mu_arg
-      $ migrate_algo_arg)
+      const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg
+      $ weighted_arg $ mu_arg $ migrate_algo_arg)
 
 (* --- simulate ------------------------------------------------------------- *)
 
@@ -217,7 +249,8 @@ let trace_cmd =
     Term.(const run $ k_arg $ l_arg $ seed_arg $ output_arg)
 
 let simulate_cmd =
-  let run k l n seed mu policy trace_path =
+  let run j k l n seed mu policy trace_path =
+    apply_domains j;
     let problem = problem_of ~weighted:false ~k ~l ~n ~seed in
     let scenario = Scenario.make ~mu problem in
     let run =
@@ -261,8 +294,8 @@ let simulate_cmd =
   let doc = "Simulate a 12-hour diurnal day under a migration policy." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ k_arg $ l_arg $ n_arg $ seed_arg $ mu_arg $ policy_arg
-      $ trace_arg)
+      const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg $ mu_arg
+      $ policy_arg $ trace_arg)
 
 (* --- ilp ------------------------------------------------------------------ *)
 
@@ -326,7 +359,8 @@ let experiment_cmd =
         | _ -> '-')
       title
   in
-  let run mode id csv_dir =
+  let run j mode id csv_dir =
+    apply_domains j;
     match Registry.find id with
     | Some e ->
         let tables = e.run mode in
@@ -362,7 +396,7 @@ let experiment_cmd =
   in
   let doc = "Regenerate one of the paper's tables or figures." in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ mode_arg $ id_arg $ csv_arg)
+    Term.(const run $ domains_arg $ mode_arg $ id_arg $ csv_arg)
 
 let list_cmd =
   let run () =

@@ -1,3 +1,5 @@
+module Parallel = Ppdc_prelude.Parallel
+
 type outcome = {
   placement : Placement.t;
   cost : float;
@@ -44,6 +46,9 @@ let solve_n2 problem att ingresses egresses =
           end)
         egresses)
     ingresses;
+  if !best = infinity then
+    invalid_arg
+      "Placement_dp.solve: no feasible ingress/egress pair (widen pair_limit)";
   let s, t = !best_pair in
   { placement = [| s; t |]; cost = !best; objective = !best }
 
@@ -60,58 +65,78 @@ let solve problem ~rates ?(rescore = false) ?pair_limit ?max_edges () =
   else if n = 2 then solve_n2 problem att ingresses egresses
   else begin
     let cm = Problem.cm problem in
-    let best = ref infinity in
-    let best_placement = ref None in
-    let best_cost = ref infinity in
-    let consider ~ingress ~egress ~middles ~stroll_cost =
-      let placement = Array.concat [ [| ingress |]; middles; [| egress |] ] in
-      let objective =
-        att.a_in.(ingress)
-        +. (att.total_rate *. stroll_cost)
-        +. att.a_out.(egress)
+    if Array.length switches < n then
+      invalid_arg
+        (Printf.sprintf
+           "Placement_dp.solve: chain of %d VNFs needs %d candidate \
+            switches, have %d"
+           n n (Array.length switches));
+    (* One DP table per candidate egress, each answering every ingress
+       query — embarrassingly parallel across egresses. Each task scans
+       its ingresses in the original inner-loop order and keeps the
+       first strict improvement, and the per-egress winners are reduced
+       in egress index order with the same strict [<], so the outcome is
+       bit-identical to the sequential double loop for any
+       PPDC_DOMAINS. *)
+    let egress_best egress =
+      let table =
+        Stroll_dp.prepare ~cm ~dst:egress ~candidates:switches ~extras:[||]
       in
-      let actual = Cost.comm_cost_with_attach problem att placement in
-      let key = if rescore then actual else objective in
-      if key < !best then begin
-        best := key;
-        best_cost := actual;
-        best_placement := Some (placement, objective)
-      end
-    in
-    Array.iter
-      (fun egress ->
-        let table =
-          Stroll_dp.prepare ~cm ~dst:egress ~candidates:switches ~extras:[||]
+      let local = ref None in
+      let consider ~ingress ~middles ~stroll_cost =
+        let placement = Array.concat [ [| ingress |]; middles; [| egress |] ] in
+        let objective =
+          att.a_in.(ingress)
+          +. (att.total_rate *. stroll_cost)
+          +. att.a_out.(egress)
         in
-        Array.iter
-          (fun ingress ->
-            if ingress <> egress then begin
-              match
-                Stroll_dp.query table ~src:ingress ~n:(n - 2) ?max_edges ()
-              with
-              | Some r ->
-                  consider ~ingress ~egress ~middles:r.switches
-                    ~stroll_cost:r.cost
-              | None ->
-                  (* Edge budget exhausted for this pair: greedy filler so
-                     the pair still competes. *)
-                  let eligible =
-                    Array.of_list
-                      (List.filter
-                         (fun v -> v <> ingress && v <> egress)
-                         (Array.to_list switches))
-                  in
-                  let r =
-                    Stroll_dp.nearest_neighbour ~cm ~src:ingress ~dst:egress
-                      ~n:(n - 2) ~eligible
-                  in
-                  consider ~ingress ~egress ~middles:r.switches
-                    ~stroll_cost:r.cost
-            end)
-          ingresses)
-      egresses;
-    match !best_placement with
-    | Some (placement, objective) ->
-        { placement; cost = !best_cost; objective }
+        let actual = Cost.comm_cost_with_attach problem att placement in
+        let key = if rescore then actual else objective in
+        match !local with
+        | Some (best_key, _, _, _) when key >= best_key -> ()
+        | _ -> local := Some (key, actual, placement, objective)
+      in
+      Array.iter
+        (fun ingress ->
+          if ingress <> egress then begin
+            match
+              Stroll_dp.query table ~src:ingress ~n:(n - 2) ?max_edges ()
+            with
+            | Some r ->
+                consider ~ingress ~middles:r.switches ~stroll_cost:r.cost
+            | None ->
+                (* Edge budget exhausted for this pair: greedy filler so
+                   the pair still competes. *)
+                let eligible =
+                  Array.of_list
+                    (List.filter
+                       (fun v -> v <> ingress && v <> egress)
+                       (Array.to_list switches))
+                in
+                let r =
+                  Stroll_dp.nearest_neighbour ~cm ~src:ingress ~dst:egress
+                    ~n:(n - 2) ~eligible
+                in
+                consider ~ingress ~middles:r.switches ~stroll_cost:r.cost
+          end)
+        ingresses;
+      !local
+    in
+    let best =
+      Parallel.map_reduce
+        ~n:(Array.length egresses)
+        ~map:(fun ei -> egress_best egresses.(ei))
+        ~init:None
+        ~combine:(fun acc candidate ->
+          match (acc, candidate) with
+          | None, c -> c
+          | a, None -> a
+          | Some (best_key, _, _, _), Some (key, _, _, _) when key >= best_key
+            ->
+              acc
+          | _, c -> c)
+    in
+    match best with
+    | Some (_, cost, placement, objective) -> { placement; cost; objective }
     | None -> invalid_arg "Placement_dp.solve: no feasible ingress/egress pair"
   end

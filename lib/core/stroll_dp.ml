@@ -7,16 +7,28 @@ type table = {
   counting : bool array;  (* local index counts towards "n distinct" *)
   dist : float array array;  (* metric completion, local indices *)
   dst : int;  (* graph node *)
-  mutable best : float array list;  (* levels e = max .. 1, reversed below *)
-  mutable succ : int array list;
+  (* Growable level store: slot [e - 1] holds level [e] once computed.
+     Capacity doubles on demand, so [level] is O(1) and the edge-budget
+     escalation in [query] is linear in the number of levels rather
+     than quadratic (the former list store paid List.nth per access). *)
+  mutable best : float array array;
+  mutable succ : int array array;
   mutable levels : int;  (* number of levels computed *)
 }
 
-(* Levels are stored most-recent-first; [level t e] fetches level [e]
-   (1-based). *)
-let level t e =
-  let from_top = t.levels - e in
-  (List.nth t.best from_top, List.nth t.succ from_top)
+(* [level t e] fetches level [e] (1-based); [e <= t.levels] required. *)
+let level t e = (t.best.(e - 1), t.succ.(e - 1))
+
+let grow_levels t =
+  let capacity = Array.length t.best in
+  if t.levels = capacity then begin
+    let capacity' = max 8 (2 * capacity) in
+    let best = Array.make capacity' [||] and succ = Array.make capacity' [||] in
+    Array.blit t.best 0 best 0 capacity;
+    Array.blit t.succ 0 succ 0 capacity;
+    t.best <- best;
+    t.succ <- succ
+  end
 
 let prepare ~cm ~dst ~candidates ~extras =
   if Array.length candidates = 0 then
@@ -55,24 +67,14 @@ let prepare ~cm ~dst ~candidates ~extras =
      the dst->dst hop are forbidden. *)
   let best1 = Array.init nn (fun i -> if i = 0 then infinity else dist.(i).(0)) in
   let succ1 = Array.init nn (fun i -> if i = 0 then -1 else 0) in
-  {
-    nodes;
-    local;
-    counting;
-    dist;
-    dst;
-    best = [ best1 ];
-    succ = [ succ1 ];
-    levels = 1;
-  }
+  let best = Array.make 8 [||] and succ = Array.make 8 [||] in
+  best.(0) <- best1;
+  succ.(0) <- succ1;
+  { nodes; local; counting; dist; dst; best; succ; levels = 1 }
 
 let extend_one_level t =
   let nn = Array.length t.nodes in
-  let prev_best, prev_succ =
-    match (t.best, t.succ) with
-    | b :: _, s :: _ -> (b, s)
-    | _ -> assert false
-  in
+  let prev_best, prev_succ = level t t.levels in
   let best = Array.make nn infinity in
   let succ = Array.make nn (-1) in
   for i = 0 to nn - 1 do
@@ -89,8 +91,9 @@ let extend_one_level t =
       end
     done
   done;
-  t.best <- best :: t.best;
-  t.succ <- succ :: t.succ;
+  grow_levels t;
+  t.best.(t.levels) <- best;
+  t.succ.(t.levels) <- succ;
   t.levels <- t.levels + 1
 
 let ensure_levels t e = while t.levels < e do extend_one_level t done
@@ -141,8 +144,14 @@ let query t ~src ~n ?(exclude = [||]) ?max_edges () =
   in
   if n < 0 then invalid_arg "Stroll_dp.query: negative n";
   if n = 0 then begin
-    if src = t.dst then
+    (* [exclude] only withdraws counting credit, so with n = 0 it cannot
+       change the answer; [max_edges] still bounds the stroll length. *)
+    ignore exclude;
+    let max_edges = Option.value max_edges ~default:1 in
+    if max_edges < 0 then None
+    else if src = t.dst then
       Some { cost = 0.0; switches = [||]; walk = [| src |]; edges = 0 }
+    else if max_edges < 1 then None
     else begin
       ensure_levels t 1;
       let best, _ = level t 1 in
@@ -189,6 +198,11 @@ let query t ~src ~n ?(exclude = [||]) ?max_edges () =
 let nearest_neighbour ~cm ~src ~dst ~n ~eligible =
   let remaining = Hashtbl.create 16 in
   Array.iter (fun v -> Hashtbl.replace remaining v ()) eligible;
+  if Hashtbl.length remaining < n then
+    invalid_arg
+      (Printf.sprintf
+         "Stroll_dp.nearest_neighbour: need %d eligible switches, have %d" n
+         (Hashtbl.length remaining));
   let order = ref [] in
   let current = ref src in
   let total = ref 0.0 in

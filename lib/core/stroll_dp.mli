@@ -46,7 +46,14 @@ val query :
     table's destination visiting at least [n] distinct counting switches,
     where switches in [exclude] (and the physical [src]/[dst] nodes) do
     not count. [None] if no such stroll is found within [max_edges]
-    (default [2·n + 8]) edges. [n = 0] returns the direct hop. *)
+    (default [2·n + 8]) edges.
+
+    [n = 0] asks for the direct hop (or the empty stroll when
+    [src = dst]). The edge budget still applies: [max_edges] defaults to
+    [1] and the result is [None] when the required stroll does not fit
+    (e.g. [~max_edges:0] with [src <> dst]). [exclude] only withdraws
+    counting credit, so with [n = 0] it is accepted but cannot affect
+    the answer. *)
 
 val nearest_neighbour :
   cm:Ppdc_topology.Cost_matrix.t ->
@@ -56,9 +63,11 @@ val nearest_neighbour :
   eligible:int array ->
   result
 (** Greedy stroll: hop to the closest unused eligible switch until [n]
-    are collected, then to [dst]. Always succeeds when
-    [Array.length eligible >= n]; used as the safety net when the DP's
-    edge budget runs out, and as a comparison point in tests. *)
+    are collected, then to [dst]. Always succeeds when [eligible] holds
+    at least [n] distinct switches, and raises [Invalid_argument]
+    otherwise (rather than failing mid-walk on an undersized topology);
+    used as the safety net when the DP's edge budget runs out, and as a
+    comparison point in tests. *)
 
 val solve :
   cm:Ppdc_topology.Cost_matrix.t ->

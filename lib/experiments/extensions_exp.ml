@@ -67,7 +67,7 @@ let multi_sfc mode =
         ]
   in
   let totals =
-    Array.init trials (fun i ->
+    Ppdc_prelude.Parallel.init trials (fun i ->
         let seed = i + 1 in
         let ft, cm = Runner.unweighted_fat_tree k in
         let rng = Rng.create seed in

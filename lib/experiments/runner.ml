@@ -8,18 +8,27 @@ open Ppdc_core
 
 (* The unweighted fat-tree and its all-pairs matrix depend only on k;
    cache them across trials (the k=16 matrix costs ~45M operations and
-   30 MB, and Fig. 11 uses it hundreds of times). *)
+   30 MB, and Fig. 11 uses it hundreds of times). Trials may run on
+   several domains, so the cache is mutex-protected; the build happens
+   under the lock on purpose — concurrent misses for the same k should
+   wait for one build rather than redo it. *)
 let unweighted_cache : (int, Fat_tree.t * Cost_matrix.t) Hashtbl.t =
   Hashtbl.create 4
 
+let unweighted_cache_mutex = Mutex.create ()
+
 let unweighted_fat_tree k =
-  match Hashtbl.find_opt unweighted_cache k with
-  | Some pair -> pair
-  | None ->
-      let ft = Fat_tree.build k in
-      let cm = Cost_matrix.compute ft.graph in
-      Hashtbl.add unweighted_cache k (ft, cm);
-      (ft, cm)
+  Mutex.lock unweighted_cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock unweighted_cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt unweighted_cache k with
+      | Some pair -> pair
+      | None ->
+          let ft = Fat_tree.build k in
+          let cm = Cost_matrix.compute ft.graph in
+          Hashtbl.add unweighted_cache k (ft, cm);
+          (ft, cm))
 
 let fat_tree_problem ?(weighted = false) ?(rack_locality = 0.8) ~k ~l ~n ~seed
     () =
@@ -43,7 +52,10 @@ let fat_tree_problem ?(weighted = false) ?(rack_locality = 0.8) ~k ~l ~n ~seed
   let flows = Workload.generate_on_fat_tree ~rack_locality ~rng ~l ft in
   Problem.make ~cm ~flows ~n ()
 
+(* Seeded trials are independent; spread them over the domain pool.
+   Results land in seed order, so the summary is bit-identical to the
+   sequential protocol for any PPDC_DOMAINS. *)
 let average ~trials f =
-  Stats.summary (Array.init trials (fun i -> f ~seed:(i + 1)))
+  Stats.summary (Ppdc_prelude.Parallel.init trials (fun i -> f ~seed:(i + 1)))
 
 let mean_cell (s : Stats.summary) = Printf.sprintf "%.1f±%.1f" s.mean s.ci95

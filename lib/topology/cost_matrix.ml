@@ -4,19 +4,21 @@ type t = {
   pred : int array array;  (* pred.(src).(dst) on the tree rooted at src *)
 }
 
+(* One Dijkstra per source, distributed over the domain pool: each task
+   only writes its own [dist]/[pred] slot, so the rows are identical to
+   the sequential loop's for any PPDC_DOMAINS. *)
 let compute graph =
   let n = Graph.num_nodes graph in
   let dist = Array.make n [||] and pred = Array.make n [||] in
-  for src = 0 to n - 1 do
-    let d, p = Shortest_paths.dijkstra graph ~src in
-    Array.iter
-      (fun x ->
-        if x = infinity then
-          invalid_arg "Cost_matrix.compute: graph is not connected")
-      d;
-    dist.(src) <- d;
-    pred.(src) <- p
-  done;
+  Ppdc_prelude.Parallel.parallel_for n (fun src ->
+      let d, p = Shortest_paths.dijkstra graph ~src in
+      Array.iter
+        (fun x ->
+          if x = infinity then
+            invalid_arg "Cost_matrix.compute: graph is not connected")
+        d;
+      dist.(src) <- d;
+      pred.(src) <- p);
   { graph; dist; pred }
 
 let graph t = t.graph

@@ -131,6 +131,44 @@ let test_stroll_n_zero () =
   Alcotest.(check int) "no switches" 0 (Array.length r.switches);
   Alcotest.(check (float 1e-9)) "direct distance" 6.0 r.cost
 
+(* Regression: the n = 0 fast path used to ignore [max_edges] entirely
+   and hand back the direct hop even when the budget forbade it. *)
+let test_stroll_n_zero_honors_max_edges () =
+  let ft, cm = k4 () in
+  let src = ft.hosts.(0) and dst = ft.hosts.(15) in
+  let table =
+    Stroll_dp.prepare ~cm ~dst
+      ~candidates:(Graph.switches (Cost_matrix.graph cm))
+      ~extras:[| src; dst |]
+  in
+  Alcotest.(check bool) "budget 0 with src <> dst finds nothing" true
+    (Stroll_dp.query table ~src ~n:0 ~max_edges:0 () = None);
+  (match Stroll_dp.query table ~src ~n:0 ~max_edges:1 () with
+  | Some r -> Alcotest.(check int) "budget 1 is the direct hop" 1 r.edges
+  | None -> Alcotest.fail "budget 1 must admit the direct hop");
+  (match Stroll_dp.query table ~src:dst ~n:0 ~max_edges:0 () with
+  | Some r -> Alcotest.(check int) "empty tour fits budget 0" 0 r.edges
+  | None -> Alcotest.fail "src = dst needs no edges");
+  (* [exclude] only withdraws counting credit, so with n = 0 it is
+     accepted and changes nothing. *)
+  match Stroll_dp.query table ~src ~n:0 ~exclude:[| dst |] () with
+  | Some r -> Alcotest.(check int) "exclude is a no-op at n = 0" 1 r.edges
+  | None -> Alcotest.fail "exclude must not break the n = 0 path"
+
+(* Regression: an undersized eligible set used to die on an internal
+   [assert] deep inside the greedy walk instead of a clear error. *)
+let test_nearest_neighbour_undersized_rejected () =
+  let ft, cm = k4 () in
+  let switches = Graph.switches (Cost_matrix.graph cm) in
+  Alcotest.(check bool) "2 eligible for n = 3 raises Invalid_argument" true
+    (try
+       ignore
+         (Stroll_dp.nearest_neighbour ~cm ~src:ft.hosts.(0)
+            ~dst:ft.hosts.(15) ~n:3
+            ~eligible:[| switches.(0); switches.(1) |]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_stroll_insufficient_candidates () =
   let lin = Linear.build ~num_switches:3 () in
   let cm = Cost_matrix.compute lin.graph in
@@ -209,6 +247,42 @@ let test_stroll_exact_budget_exhaustion () =
   Alcotest.(check bool) "finite cost" true (Float.is_finite starved.cost)
 
 (* --- pair_limit --------------------------------------------------------------- *)
+
+(* Regression: when pair_limit leaves no valid (ingress, egress) pair —
+   the same switch tops both A_in and A_out — solve_n2 used to return
+   the sentinel placement [|-1; -1|] with cost = infinity instead of
+   failing loudly. *)
+let test_n2_no_feasible_pair_rejected () =
+  let ft, cm = k4 () in
+  let h0 = ft.hosts.(0) in
+  (* A rack-mate of h0: both hosts hang off the same edge switch, so that
+     switch strictly minimizes A_in and A_out simultaneously. *)
+  let h1 =
+    match
+      Array.find_opt
+        (fun h -> h <> h0 && Cost_matrix.cost cm h0 h = 2.0)
+        ft.hosts
+    with
+    | Some h -> h
+    | None -> Alcotest.fail "k=4 fat tree must have rack-mates"
+  in
+  let flow =
+    Flow.make ~id:0 ~src_host:h0 ~dst_host:h1 ~base_rate:5.0 ~coast:East
+  in
+  let problem = Problem.make ~cm ~flows:[| flow |] ~n:2 () in
+  let rates = Flow.base_rates (Problem.flows problem) in
+  Alcotest.(check bool) "pair_limit 1 with one top switch raises" true
+    (try
+       let o = Placement_dp.solve problem ~rates ~pair_limit:1 () in
+       (* Seed behaviour: a silent [|-1; -1|] at infinite cost. *)
+       ignore o;
+       false
+     with Invalid_argument _ -> true);
+  (* Widening the pool keeps the instance solvable. *)
+  let o = Placement_dp.solve problem ~rates ~pair_limit:2 () in
+  Placement.validate problem o.placement;
+  Alcotest.(check bool) "finite cost with pair_limit 2" true
+    (Float.is_finite o.cost)
 
 let test_pair_limit_extremes () =
   let problem = k4_problem ~l:8 ~n:4 ~seed:6 in
@@ -315,6 +389,10 @@ let () =
             test_stroll_tour_src_equals_dst;
           Alcotest.test_case "n = 0 is the direct hop" `Quick
             test_stroll_n_zero;
+          Alcotest.test_case "n = 0 honors max_edges" `Quick
+            test_stroll_n_zero_honors_max_edges;
+          Alcotest.test_case "undersized nearest-neighbour rejected" `Quick
+            test_nearest_neighbour_undersized_rejected;
           Alcotest.test_case "insufficient candidates" `Quick
             test_stroll_insufficient_candidates;
           Alcotest.test_case "edge-budget fallback" `Quick
@@ -339,5 +417,9 @@ let () =
             test_ilp_tom_adds_migration_terms;
         ] );
       ( "pair-limit",
-        [ Alcotest.test_case "extreme caps" `Quick test_pair_limit_extremes ] );
+        [
+          Alcotest.test_case "extreme caps" `Quick test_pair_limit_extremes;
+          Alcotest.test_case "no feasible n = 2 pair rejected" `Quick
+            test_n2_no_feasible_pair_rejected;
+        ] );
     ]
