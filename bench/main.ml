@@ -12,6 +12,7 @@
 module Mode = Ppdc_experiments.Mode
 module Registry = Ppdc_experiments.Registry
 module Runner = Ppdc_experiments.Runner
+module Obs = Ppdc_prelude.Obs
 module Table = Ppdc_prelude.Table
 module Rng = Ppdc_prelude.Rng
 module Flow = Ppdc_traffic.Flow
@@ -31,7 +32,7 @@ let run_experiments mode =
     (fun (e : Registry.entry) ->
       Printf.printf "--- %s: %s ---\n" e.id e.summary;
       let t0 = Unix.gettimeofday () in
-      let tables = e.run mode in
+      let tables = Obs.time ("experiment." ^ e.id) (fun () -> e.run mode) in
       let dt = Unix.gettimeofday () -. t0 in
       List.iter Table.print tables;
       Printf.printf "(%s completed in %.1fs)\n\n%!" e.id dt)
@@ -150,8 +151,30 @@ let run_micro_benchmarks mode =
     (micro_tests mode);
   Table.print table
 
+(* `--metrics FILE` (or PPDC_METRICS=FILE) collects counters and span
+   timings across the whole run and writes them as NDJSON on exit; the
+   flag is scanned by hand since the bench has no cmdliner front end. *)
+let metrics_path () =
+  let argv = Sys.argv in
+  let from_flag = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--metrics" && i + 1 < Array.length argv then
+        from_flag := Some argv.(i + 1)
+      else if String.length arg > 10 && String.sub arg 0 10 = "--metrics=" then
+        from_flag := Some (String.sub arg 10 (String.length arg - 10)))
+    argv;
+  match !from_flag with Some _ as p -> p | None -> Obs.env_path ()
+
 let () =
   let mode = Mode.of_env () in
+  let metrics = metrics_path () in
+  if metrics <> None then Obs.set_enabled true;
   run_experiments mode;
   run_micro_benchmarks mode;
+  (match metrics with
+  | Some path ->
+      Obs.export ~path;
+      Printf.printf "metrics written to %s\n" path
+  | None -> ());
   print_endline "bench: all experiments completed."

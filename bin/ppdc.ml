@@ -13,6 +13,7 @@
 open Cmdliner
 module Table = Ppdc_prelude.Table
 module Rng = Ppdc_prelude.Rng
+module Obs = Ppdc_prelude.Obs
 module Graph = Ppdc_topology.Graph
 module Cost_matrix = Ppdc_topology.Cost_matrix
 module Flow = Ppdc_traffic.Flow
@@ -76,6 +77,28 @@ let apply_domains = function
   | None -> ()
   | Some d -> Ppdc_prelude.Parallel.set_domains d
 
+let metrics_arg =
+  let doc =
+    "Collect metrics (counters, solver span timings, per-epoch events) \
+     during the run and write them as NDJSON to $(docv). Setting the \
+     $(b,PPDC_METRICS) environment variable to a path does the same \
+     without the flag; the flag wins when both are given. Inspect the \
+     file with $(b,ppdc metrics-summary)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let with_metrics metrics f =
+  let path = match metrics with Some _ -> metrics | None -> Obs.env_path () in
+  match path with
+  | None -> f ()
+  | Some path ->
+      Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.export ~path;
+          Printf.eprintf "metrics written to %s\n%!" path)
+        f
+
 let problem_of ~weighted ~k ~l ~n ~seed =
   Runner.fat_tree_problem ~weighted ~k ~l ~n ~seed ()
 
@@ -120,8 +143,9 @@ let place_algo_arg =
     & info [ "algo" ] ~docv:"ALGO" ~doc)
 
 let place_cmd =
-  let run j k l n seed weighted algo =
+  let run j k l n seed weighted algo metrics =
     apply_domains j;
+    with_metrics metrics @@ fun () ->
     let problem = problem_of ~weighted ~k ~l ~n ~seed in
     let rates = Flow.base_rates (Problem.flows problem) in
     let name, placement, cost =
@@ -148,7 +172,7 @@ let place_cmd =
   Cmd.v (Cmd.info "place" ~doc)
     Term.(
       const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg
-      $ weighted_arg $ place_algo_arg)
+      $ weighted_arg $ place_algo_arg $ metrics_arg)
 
 (* --- migrate -------------------------------------------------------------- *)
 
@@ -164,8 +188,9 @@ let migrate_algo_arg =
     & info [ "algo" ] ~docv:"ALGO" ~doc)
 
 let migrate_cmd =
-  let run j k l n seed weighted mu algo =
+  let run j k l n seed weighted mu algo metrics =
     apply_domains j;
+    with_metrics metrics @@ fun () ->
     let problem = problem_of ~weighted ~k ~l ~n ~seed in
     let rates0 = Flow.base_rates (Problem.flows problem) in
     let current = (Placement_dp.solve problem ~rates:rates0 ()).placement in
@@ -204,7 +229,7 @@ let migrate_cmd =
   Cmd.v (Cmd.info "migrate" ~doc)
     Term.(
       const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg
-      $ weighted_arg $ mu_arg $ migrate_algo_arg)
+      $ weighted_arg $ mu_arg $ migrate_algo_arg $ metrics_arg)
 
 (* --- simulate ------------------------------------------------------------- *)
 
@@ -249,8 +274,9 @@ let trace_cmd =
     Term.(const run $ k_arg $ l_arg $ seed_arg $ output_arg)
 
 let simulate_cmd =
-  let run j k l n seed mu policy trace_path =
+  let run j k l n seed mu policy trace_path metrics =
     apply_domains j;
+    with_metrics metrics @@ fun () ->
     let problem = problem_of ~weighted:false ~k ~l ~n ~seed in
     let scenario = Scenario.make ~mu problem in
     let run =
@@ -295,7 +321,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg $ mu_arg
-      $ policy_arg $ trace_arg)
+      $ policy_arg $ trace_arg $ metrics_arg)
 
 (* --- ilp ------------------------------------------------------------------ *)
 
@@ -359,8 +385,9 @@ let experiment_cmd =
         | _ -> '-')
       title
   in
-  let run j mode id csv_dir =
+  let run j mode id csv_dir metrics =
     apply_domains j;
+    with_metrics metrics @@ fun () ->
     match Registry.find id with
     | Some e ->
         let tables = e.run mode in
@@ -396,7 +423,115 @@ let experiment_cmd =
   in
   let doc = "Regenerate one of the paper's tables or figures." in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ domains_arg $ mode_arg $ id_arg $ csv_arg)
+    Term.(const run $ domains_arg $ mode_arg $ id_arg $ csv_arg $ metrics_arg)
+
+(* --- metrics-summary -------------------------------------------------------- *)
+
+let metrics_summary_cmd =
+  let read_records path =
+    let ic = open_in path in
+    let records = ref [] in
+    let lineno = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            incr lineno;
+            if String.trim line <> "" then
+              match Obs.Json.parse line with
+              | json -> records := json :: !records
+              | exception Failure msg ->
+                  Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+                  exit 1
+          done;
+          assert false
+        with End_of_file -> List.rev !records)
+  in
+  let run path =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "no such file: %s\n" path;
+      exit 1
+    end;
+    let records = read_records path in
+    let str_of = function Some (Obs.Json.Str s) -> s | _ -> "" in
+    let num_of = function Some (Obs.Json.Num n) -> n | _ -> Float.nan in
+    let of_type ty =
+      List.filter (fun r -> str_of (Obs.Json.member "type" r) = ty) records
+    in
+    let seconds v = Printf.sprintf "%.6f" v in
+    (match of_type "meta" with
+    | m :: _ ->
+        Printf.printf "schema %s, %d domain shard(s), %d record(s)\n"
+          (str_of (Obs.Json.member "schema" m))
+          (int_of_float (num_of (Obs.Json.member "domains" m)))
+          (List.length records)
+    | [] -> Printf.printf "%d record(s), no meta line\n" (List.length records));
+    let counters = of_type "counter" in
+    if counters <> [] then begin
+      let t = Table.create ~title:"counters" ~columns:[ "name"; "value" ] in
+      List.iter
+        (fun c ->
+          Table.add_row t
+            [
+              str_of (Obs.Json.member "name" c);
+              Printf.sprintf "%.0f" (num_of (Obs.Json.member "value" c));
+            ])
+        counters;
+      Table.print t
+    end;
+    let dist_table ~title ~unit_suffix rows =
+      if rows <> [] then begin
+        let t =
+          Table.create ~title
+            ~columns:[ "name"; "count"; "total"; "mean"; "p50"; "p95"; "max" ]
+        in
+        List.iter
+          (fun s ->
+            let field name = num_of (Obs.Json.member (name ^ unit_suffix) s) in
+            Table.add_row t
+              [
+                str_of (Obs.Json.member "name" s);
+                Printf.sprintf "%.0f" (num_of (Obs.Json.member "count" s));
+                seconds (field "total");
+                seconds (field "mean");
+                seconds (field "p50");
+                seconds (field "p95");
+                seconds (field "max");
+              ])
+          rows;
+        Table.print t
+      end
+    in
+    dist_table ~title:"spans (seconds)" ~unit_suffix:"_s" (of_type "span");
+    dist_table ~title:"histograms" ~unit_suffix:"" (of_type "hist");
+    let events = of_type "event" in
+    if events <> [] then begin
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let name = str_of (Obs.Json.member "name" e) in
+          Hashtbl.replace tally name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally name)))
+        events;
+      let t = Table.create ~title:"events" ~columns:[ "name"; "count" ] in
+      Hashtbl.fold (fun name count acc -> (name, count) :: acc) tally []
+      |> List.sort compare
+      |> List.iter (fun (name, count) ->
+             Table.add_row t [ name; string_of_int count ]);
+      Table.print t
+    end
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"NDJSON metrics file written by --metrics or PPDC_METRICS.")
+  in
+  let doc = "Pretty-print an NDJSON metrics file." in
+  Cmd.v (Cmd.info "metrics-summary" ~doc) Term.(const run $ path_arg)
 
 let list_cmd =
   let run () =
@@ -415,5 +550,5 @@ let () =
        (Cmd.group info
           [
             topology_cmd; place_cmd; migrate_cmd; simulate_cmd; trace_cmd;
-            ilp_cmd; experiment_cmd; list_cmd;
+            ilp_cmd; experiment_cmd; metrics_summary_cmd; list_cmd;
           ]))

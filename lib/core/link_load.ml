@@ -20,6 +20,8 @@ let add_path t ~rate path =
   in
   walk path
 
+let of_graph graph = { graph; loads = Hashtbl.create 16 }
+
 let compute problem ~rates placement =
   Placement.validate problem placement;
   let cm = Problem.cm problem in
@@ -47,8 +49,11 @@ let load t u v =
 let max_load t = Hashtbl.fold (fun _ l acc -> Float.max l acc) t.loads 0.0
 
 let mean_load t =
-  let total = Hashtbl.fold (fun _ l acc -> acc +. l) t.loads 0.0 in
-  total /. float_of_int (Graph.num_edges t.graph)
+  let edges = Graph.num_edges t.graph in
+  if edges = 0 then 0.0
+  else
+    let total = Hashtbl.fold (fun _ l acc -> acc +. l) t.loads 0.0 in
+    total /. float_of_int edges
 
 let weighted_total t =
   Hashtbl.fold

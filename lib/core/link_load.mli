@@ -16,6 +16,10 @@ val compute : Problem.t -> rates:float array -> Placement.t -> t
 (** Route all flows under the placement. O(l · n · D) where D is the
     network diameter. *)
 
+val of_graph : Ppdc_topology.Graph.t -> t
+(** An all-idle load table over the graph: every link carries zero. The
+    zero-traffic baseline for the accessors below. *)
+
 val load : t -> int -> int -> float
 (** [load t u v] is the total rate crossing the (undirected) link
     [(u, v)]; 0 for absent links. *)

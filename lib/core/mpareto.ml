@@ -15,8 +15,11 @@ type outcome = {
   points : point list;
 }
 
+module Obs = Ppdc_prelude.Obs
+
 let migrate problem ~rates ~mu ~current ?(collisions = `Skip) ?rescore
     ?pair_limit () =
+  Obs.time "mpareto.migrate" @@ fun () ->
   Placement.validate problem current;
   let att = Cost.attach problem ~rates in
   let target =
@@ -42,23 +45,32 @@ let migrate problem ~rates ~mu ~current ?(collisions = `Skip) ?rescore
     | `Allow -> true
     | `Skip -> (not p.collides) && Placement.is_valid problem p.frontier
   in
-  let best =
+  let best, _, skipped =
     List.fold_left
-      (fun acc p ->
-        if not (eligible p) then acc
+      (fun (acc, row, skipped) p ->
+        if not (eligible p) then (acc, row + 1, skipped + 1)
         else
           let total = p.migration_cost +. p.comm_cost in
           match acc with
-          | Some (best_total, _) when best_total <= total -> acc
-          | _ -> Some (total, p))
-      None points
+          | Some (best_total, _, _) when best_total <= total ->
+              (acc, row + 1, skipped)
+          | _ -> (Some (total, p, row), row + 1, skipped))
+      (None, 0, 0) points
   in
+  if Obs.enabled () then begin
+    Obs.incr ~by:(List.length points) "mpareto.rows_evaluated";
+    Obs.incr ~by:skipped "mpareto.rows_skipped";
+    Obs.incr
+      ~by:(List.length (List.filter (fun p -> p.collides) points))
+      "mpareto.collisions"
+  end;
   match best with
   | None ->
       (* Row 0 never collides (it is the current valid placement), so
          this is unreachable; keep the typechecker honest. *)
       assert false
-  | Some (total, p) ->
+  | Some (total, p, chosen_row) ->
+      Obs.observe "mpareto.chosen_row" (float_of_int chosen_row);
       {
         migration = p.frontier;
         total_cost = total;

@@ -1,4 +1,5 @@
 module Parallel = Ppdc_prelude.Parallel
+module Obs = Ppdc_prelude.Obs
 
 type outcome = {
   placement : Placement.t;
@@ -29,11 +30,13 @@ let solve_n1 (att : Cost.attach) switches =
 
 let solve_n2 problem att ingresses egresses =
   let best = ref infinity and best_pair = ref (-1, -1) in
+  let tried = ref 0 in
   Array.iter
     (fun s ->
       Array.iter
         (fun t ->
           if s <> t then begin
+            incr tried;
             let value =
               att.Cost.a_in.(s)
               +. (att.Cost.total_rate *. Problem.cost problem s t)
@@ -46,6 +49,7 @@ let solve_n2 problem att ingresses egresses =
           end)
         egresses)
     ingresses;
+  Obs.incr ~by:!tried "placement_dp.pairs_tried";
   if !best = infinity then
     invalid_arg
       "Placement_dp.solve: no feasible ingress/egress pair (widen pair_limit)";
@@ -53,6 +57,7 @@ let solve_n2 problem att ingresses egresses =
   { placement = [| s; t |]; cost = !best; objective = !best }
 
 let solve problem ~rates ?(rescore = false) ?pair_limit ?max_edges () =
+  Obs.time "placement_dp.solve" @@ fun () ->
   let att = Cost.attach problem ~rates in
   let switches = Problem.switches problem in
   let n = Problem.n problem in
@@ -84,6 +89,7 @@ let solve problem ~rates ?(rescore = false) ?pair_limit ?max_edges () =
       in
       let local = ref None in
       let consider ~ingress ~middles ~stroll_cost =
+        Obs.incr "placement_dp.pairs_tried";
         let placement = Array.concat [ [| ingress |]; middles; [| egress |] ] in
         let objective =
           att.a_in.(ingress)

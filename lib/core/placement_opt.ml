@@ -1,4 +1,5 @@
 module Parallel = Ppdc_prelude.Parallel
+module Obs = Ppdc_prelude.Obs
 
 type outcome = {
   placement : Placement.t;
@@ -102,13 +103,17 @@ let rec dfs ctx st depth partial =
             if remaining_after = 0 then partial' +. ctx.min_a_out
             else partial' +. tail_bound
           in
-          if sibling_cutoff >= st.best_cost then stop := true
+          if sibling_cutoff >= st.best_cost then begin
+            stop := true;
+            if depth = 0 then Obs.incr "placement_opt.subtrees_pruned"
+          end
           else if partial' +. tail_bound < st.best_cost then begin
             Hashtbl.add st.used x ();
             st.chosen.(depth) <- x;
             dfs ctx st (depth + 1) partial';
             Hashtbl.remove st.used x
-          end;
+          end
+          else if depth = 0 then Obs.incr "placement_opt.subtrees_pruned";
           if st.exhausted then stop := true
         end
       done
@@ -134,10 +139,12 @@ let subtree ctx ~budget ~seed_cost ~seed x =
     Hashtbl.add st.used x ();
     st.chosen.(0) <- x;
     dfs ctx st 1 partial'
-  end;
+  end
+  else Obs.incr "placement_opt.subtrees_pruned";
   st
 
 let solve problem ~rates ?(budget = 20_000_000) ?incumbent () =
+  Obs.time "placement_opt.solve" @@ fun () ->
   let att = Cost.attach problem ~rates in
   let switches = Problem.switches problem in
   let n = Problem.n problem in
@@ -181,6 +188,7 @@ let solve problem ~rates ?(budget = 20_000_000) ?incumbent () =
   if Parallel.domain_count () = 1 then begin
     let st = make_state ctx ~budget ~seed_cost ~seed in
     dfs ctx st 0 0.0;
+    Obs.incr ~by:st.explored "placement_opt.explored";
     {
       placement = st.best;
       cost = st.best_cost;
@@ -213,6 +221,7 @@ let solve problem ~rates ?(budget = 20_000_000) ?incumbent () =
           best := st.best
         end)
       states;
+    Obs.incr ~by:!explored "placement_opt.explored";
     {
       placement = !best;
       cost = !best_cost;

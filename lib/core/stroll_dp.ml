@@ -1,5 +1,6 @@
 module Cost_matrix = Ppdc_topology.Cost_matrix
 module Graph = Ppdc_topology.Graph
+module Obs = Ppdc_prelude.Obs
 
 type table = {
   nodes : int array;  (* local index -> graph node; dst is local 0 *)
@@ -70,6 +71,8 @@ let prepare ~cm ~dst ~candidates ~extras =
   let best = Array.make 8 [||] and succ = Array.make 8 [||] in
   best.(0) <- best1;
   succ.(0) <- succ1;
+  Obs.incr "stroll_dp.tables";
+  Obs.observe "stroll_dp.table_nodes" (float_of_int nn);
   { nodes; local; counting; dist; dst; best; succ; levels = 1 }
 
 let extend_one_level t =
@@ -94,7 +97,8 @@ let extend_one_level t =
   grow_levels t;
   t.best.(t.levels) <- best;
   t.succ.(t.levels) <- succ;
-  t.levels <- t.levels + 1
+  t.levels <- t.levels + 1;
+  Obs.incr "stroll_dp.levels_extended"
 
 let ensure_levels t e = while t.levels < e do extend_one_level t done
 
@@ -168,9 +172,14 @@ let query t ~src ~n ?(exclude = [||]) ?max_edges () =
     let max_edges = Option.value max_edges ~default:((2 * n) + 8) in
     let excluded = Hashtbl.create (Array.length exclude) in
     Array.iter (fun v -> Hashtbl.replace excluded v ()) exclude;
+    let first_attempt = n + 1 in
     let rec attempt edges =
       if edges > max_edges then None
       else begin
+        (* Every retry past the minimum edge count is a budget
+           escalation: the level-[edges] stroll existed but did not
+           collect enough distinct counting switches. *)
+        if edges > first_attempt then Obs.incr "stroll_dp.edge_escalations";
         ensure_levels t edges;
         let best, _ = level t edges in
         if best.(src_local) = infinity then attempt (edges + 1)
@@ -196,6 +205,7 @@ let query t ~src ~n ?(exclude = [||]) ?max_edges () =
    until n are collected, then to dst. Guarantees a valid stroll whenever
    enough counting switches exist. *)
 let nearest_neighbour ~cm ~src ~dst ~n ~eligible =
+  Obs.incr "stroll_dp.nn_fallbacks";
   let remaining = Hashtbl.create 16 in
   Array.iter (fun v -> Hashtbl.replace remaining v ()) eligible;
   if Hashtbl.length remaining < n then

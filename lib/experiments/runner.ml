@@ -23,8 +23,11 @@ let unweighted_fat_tree k =
     ~finally:(fun () -> Mutex.unlock unweighted_cache_mutex)
     (fun () ->
       match Hashtbl.find_opt unweighted_cache k with
-      | Some pair -> pair
+      | Some pair ->
+          Ppdc_prelude.Obs.incr "runner.cost_matrix_cache_hits";
+          pair
       | None ->
+          Ppdc_prelude.Obs.incr "runner.cost_matrix_cache_misses";
           let ft = Fat_tree.build k in
           let cm = Cost_matrix.compute ft.graph in
           Hashtbl.add unweighted_cache k (ft, cm);
@@ -56,6 +59,8 @@ let fat_tree_problem ?(weighted = false) ?(rack_locality = 0.8) ~k ~l ~n ~seed
    Results land in seed order, so the summary is bit-identical to the
    sequential protocol for any PPDC_DOMAINS. *)
 let average ~trials f =
-  Stats.summary (Ppdc_prelude.Parallel.init trials (fun i -> f ~seed:(i + 1)))
+  Stats.summary
+    (Ppdc_prelude.Parallel.init trials (fun i ->
+         Ppdc_prelude.Obs.time "runner.trial" (fun () -> f ~seed:(i + 1))))
 
 let mean_cell (s : Stats.summary) = Printf.sprintf "%.1f±%.1f" s.mean s.ci95

@@ -1,0 +1,466 @@
+type value = Int of int | Float of float | String of string | Bool of bool
+
+(* --- enabled flag ------------------------------------------------------ *)
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "PPDC_METRICS" with
+    | Some p when String.trim p <> "" -> true
+    | _ -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let env_path () =
+  match Sys.getenv_opt "PPDC_METRICS" with
+  | Some p when String.trim p <> "" -> Some p
+  | _ -> None
+
+let now () = Unix.gettimeofday ()
+
+(* --- growable sample buffer ------------------------------------------- *)
+
+type buf = { mutable data : float array; mutable len : int }
+
+let buf_create () = { data = Array.make 16 0.0; len = 0 }
+
+let buf_push b x =
+  if b.len = Array.length b.data then begin
+    let data = Array.make (2 * b.len) 0.0 in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let buf_contents b = Array.sub b.data 0 b.len
+
+(* --- per-domain shards ------------------------------------------------- *)
+
+type event = { seq : int; name : string; fields : (string * value) list }
+
+type shard = {
+  lock : Mutex.t;
+      (* Writes come only from the owning domain; the lock exists so a
+         merging/resetting domain can read or clear a shard without
+         tearing a concurrent write. Uncontended in steady state. *)
+  counters : (string, int ref) Hashtbl.t;
+  spans : (string, buf) Hashtbl.t;
+  hists : (string, buf) Hashtbl.t;
+  mutable events : event list;  (* newest first *)
+}
+
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+let event_seq = Atomic.make 0
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          lock = Mutex.create ();
+          counters = Hashtbl.create 16;
+          spans = Hashtbl.create 16;
+          hists = Hashtbl.create 16;
+          events = [];
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := s :: !registry;
+      Mutex.unlock registry_mutex;
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let with_shard f =
+  let s = my_shard () in
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s)
+
+(* --- recording --------------------------------------------------------- *)
+
+let incr ?(by = 1) name =
+  if Atomic.get enabled_flag then
+    with_shard (fun s ->
+        match Hashtbl.find_opt s.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add s.counters name (ref by))
+
+let record_into table name x =
+  if Float.is_finite x then
+    with_shard (fun s ->
+        let b =
+          match Hashtbl.find_opt (table s) name with
+          | Some b -> b
+          | None ->
+              let b = buf_create () in
+              Hashtbl.add (table s) name b;
+              b
+        in
+        buf_push b x)
+
+let observe name x =
+  if Atomic.get enabled_flag then record_into (fun s -> s.hists) name x
+
+let observe_span name dt =
+  if Atomic.get enabled_flag then record_into (fun s -> s.spans) name dt
+
+let time name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () -> observe_span name (now () -. t0))
+      f
+  end
+
+let emit name fields =
+  if Atomic.get enabled_flag then begin
+    let seq = Atomic.fetch_and_add event_seq 1 in
+    with_shard (fun s -> s.events <- { seq; name; fields } :: s.events)
+  end
+
+(* --- snapshot ----------------------------------------------------------- *)
+
+type dist_summary = {
+  count : int;
+  total : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * dist_summary) list;
+  hists : (string * dist_summary) list;
+  events : event list;
+}
+
+let summarize samples =
+  let count = Array.length samples in
+  if count = 0 then
+    { count = 0; total = 0.0; mean = 0.0; p50 = 0.0; p95 = 0.0; max = 0.0 }
+  else
+    let total = Array.fold_left ( +. ) 0.0 samples in
+    {
+      count;
+      total;
+      mean = total /. float_of_int count;
+      p50 = Stats.percentile samples 0.5;
+      p95 = Stats.percentile samples 0.95;
+      max = Array.fold_left Float.max samples.(0) samples;
+    }
+
+let shards () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () -> !registry)
+
+let snapshot () =
+  let counters = Hashtbl.create 16 in
+  let spans = Hashtbl.create 16 in
+  let hists = Hashtbl.create 16 in
+  let events = ref [] in
+  List.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () ->
+          Hashtbl.iter
+            (fun name r ->
+              match Hashtbl.find_opt counters name with
+              | Some acc -> acc := !acc + !r
+              | None -> Hashtbl.add counters name (ref !r))
+            s.counters;
+          let merge dst =
+            Hashtbl.iter (fun name b ->
+                let samples = buf_contents b in
+                match Hashtbl.find_opt dst name with
+                | Some acc -> Hashtbl.replace dst name (samples :: acc)
+                | None -> Hashtbl.add dst name [ samples ])
+          in
+          merge spans s.spans;
+          merge hists s.hists;
+          events := List.rev_append s.events !events))
+    (shards ());
+  let sorted_assoc of_value table =
+    Hashtbl.fold (fun name v acc -> (name, of_value v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    counters = sorted_assoc (fun r -> !r) counters;
+    spans = sorted_assoc (fun chunks -> summarize (Array.concat chunks)) spans;
+    hists = sorted_assoc (fun chunks -> summarize (Array.concat chunks)) hists;
+    events =
+      List.sort (fun (a : event) b -> Stdlib.compare a.seq b.seq) !events;
+  }
+
+let reset () =
+  List.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.spans;
+      Hashtbl.reset s.hists;
+      s.events <- [];
+      Mutex.unlock s.lock)
+    (shards ());
+  Atomic.set event_seq 0
+
+(* --- NDJSON writer ------------------------------------------------------ *)
+
+let escape_into buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let float_repr x =
+  if not (Float.is_finite x) then "null"
+  else begin
+    (* Shortest representation that still round-trips. *)
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+  end
+
+let value_into buffer = function
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float x -> Buffer.add_string buffer (float_repr x)
+  | String s -> escape_into buffer s
+  | Bool b -> Buffer.add_string buffer (string_of_bool b)
+
+let record_into_buffer buffer fields =
+  Buffer.add_char buffer '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buffer ',';
+      escape_into buffer k;
+      Buffer.add_char buffer ':';
+      value_into buffer v)
+    fields;
+  Buffer.add_string buffer "}\n"
+
+let to_ndjson snap =
+  let buffer = Buffer.create 4096 in
+  record_into_buffer buffer
+    [
+      ("type", String "meta");
+      ("schema", String "ppdc.metrics/1");
+      ("domains", Int (List.length (shards ())));
+    ];
+  List.iter
+    (fun e ->
+      record_into_buffer buffer
+        (("type", String "event") :: ("seq", Int e.seq)
+        :: ("name", String e.name) :: e.fields))
+    snap.events;
+  List.iter
+    (fun (name, v) ->
+      record_into_buffer buffer
+        [ ("type", String "counter"); ("name", String name); ("value", Int v) ])
+    snap.counters;
+  let dist kind ~unit_suffix (name, d) =
+    record_into_buffer buffer
+      [
+        ("type", String kind);
+        ("name", String name);
+        ("count", Int d.count);
+        ("total" ^ unit_suffix, Float d.total);
+        ("mean" ^ unit_suffix, Float d.mean);
+        ("p50" ^ unit_suffix, Float d.p50);
+        ("p95" ^ unit_suffix, Float d.p95);
+        ("max" ^ unit_suffix, Float d.max);
+      ]
+  in
+  List.iter (dist "span" ~unit_suffix:"_s") snap.spans;
+  List.iter (dist "hist" ~unit_suffix:"") snap.hists;
+  Buffer.contents buffer
+
+let export ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_ndjson (snapshot ())))
+
+(* --- minimal JSON reader ------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  type cursor = { text : string; mutable pos : int }
+
+  let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+  let fail c msg =
+    failwith (Printf.sprintf "Obs.Json.parse: %s at offset %d" msg c.pos)
+
+  let skip_ws c =
+    while
+      match peek c with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          c.pos <- c.pos + 1;
+          true
+      | _ -> false
+    do
+      ()
+    done
+
+  let expect c ch =
+    match peek c with
+    | Some x when x = ch -> c.pos <- c.pos + 1
+    | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+  let literal c word v =
+    let n = String.length word in
+    if
+      c.pos + n <= String.length c.text
+      && String.sub c.text c.pos n = word
+    then begin
+      c.pos <- c.pos + n;
+      v
+    end
+    else fail c (Printf.sprintf "expected %s" word)
+
+  let parse_string c =
+    expect c '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      match peek c with
+      | None -> fail c "unterminated string"
+      | Some '"' -> c.pos <- c.pos + 1
+      | Some '\\' -> (
+          c.pos <- c.pos + 1;
+          match peek c with
+          | Some 'n' -> Buffer.add_char buffer '\n'; c.pos <- c.pos + 1; loop ()
+          | Some 't' -> Buffer.add_char buffer '\t'; c.pos <- c.pos + 1; loop ()
+          | Some 'r' -> Buffer.add_char buffer '\r'; c.pos <- c.pos + 1; loop ()
+          | Some (('"' | '\\' | '/') as ch) ->
+              Buffer.add_char buffer ch;
+              c.pos <- c.pos + 1;
+              loop ()
+          | Some 'u' ->
+              if c.pos + 5 > String.length c.text then fail c "bad \\u escape";
+              let hex = String.sub c.text (c.pos + 1) 4 in
+              let code =
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some v -> v
+                | None -> fail c "bad \\u escape"
+              in
+              (* Our writer only escapes control characters, so a raw
+                 byte is enough. *)
+              if code < 0x100 then Buffer.add_char buffer (Char.chr code)
+              else fail c "unsupported \\u escape";
+              c.pos <- c.pos + 5;
+              loop ()
+          | _ -> fail c "bad escape")
+      | Some ch ->
+          Buffer.add_char buffer ch;
+          c.pos <- c.pos + 1;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+
+  let parse_number c =
+    let start = c.pos in
+    let number_char ch =
+      match ch with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while match peek c with Some ch when number_char ch -> true | _ -> false do
+      c.pos <- c.pos + 1
+    done;
+    match float_of_string_opt (String.sub c.text start (c.pos - start)) with
+    | Some x -> x
+    | None -> fail c "bad number"
+
+  let rec parse_value c =
+    skip_ws c;
+    match peek c with
+    | None -> fail c "unexpected end of input"
+    | Some '{' ->
+        c.pos <- c.pos + 1;
+        skip_ws c;
+        if peek c = Some '}' then begin
+          c.pos <- c.pos + 1;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws c;
+            let key = parse_string c in
+            skip_ws c;
+            expect c ':';
+            let v = parse_value c in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                c.pos <- c.pos + 1;
+                members ((key, v) :: acc)
+            | Some '}' ->
+                c.pos <- c.pos + 1;
+                List.rev ((key, v) :: acc)
+            | _ -> fail c "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        c.pos <- c.pos + 1;
+        skip_ws c;
+        if peek c = Some ']' then begin
+          c.pos <- c.pos + 1;
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value c in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                c.pos <- c.pos + 1;
+                elements (v :: acc)
+            | Some ']' ->
+                c.pos <- c.pos + 1;
+                List.rev (v :: acc)
+            | _ -> fail c "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+    | Some '"' -> Str (parse_string c)
+    | Some 't' -> literal c "true" (Bool true)
+    | Some 'f' -> literal c "false" (Bool false)
+    | Some 'n' -> literal c "null" Null
+    | Some _ -> Num (parse_number c)
+
+  let parse text =
+    let c = { text; pos = 0 } in
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length text then fail c "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end

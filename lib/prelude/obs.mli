@@ -1,0 +1,124 @@
+(** Zero-dependency, domain-safe observability: counters, histograms,
+    wall-clock span timers, per-epoch events and an NDJSON exporter.
+
+    Disabled by default: every recording entry point first reads one
+    atomic flag and returns immediately when metrics are off, so
+    instrumented hot loops pay a single load and a predictable branch.
+    Nothing is allocated, no clock is read and no shard is touched until
+    {!set_enabled}[ true] (or the [PPDC_METRICS] environment variable)
+    turns the layer on.
+
+    Domain safety: each domain records into its own shard (domain-local
+    storage), so instrumented code inside {!Parallel} sections never
+    contends on shared tables. Shards are registered globally on first
+    use and merged by {!snapshot} — counters are summed, histogram and
+    span samples concatenated, and events interleaved by a global
+    sequence number, so the merged view is independent of the domain
+    count. Take snapshots outside parallel sections (e.g. at the end of
+    a CLI run); per-shard locks make a concurrent snapshot safe but the
+    partial data it sees is only meaningful once the section finished.
+
+    Emitted NDJSON schema (one JSON object per line):
+    - [{"type":"meta","schema":"ppdc.metrics/1","domains":D}] — [D] is
+      the number of domain shards merged into the snapshot;
+    - [{"type":"event","seq":S,"name":N,...}] — one per {!emit}, fields
+      inlined, in [seq] order;
+    - [{"type":"counter","name":N,"value":V}]
+    - [{"type":"span","name":N,"count":C,"total_s":T,"mean_s":M,
+       "p50_s":P,"p95_s":Q,"max_s":X}] — seconds, from {!time};
+    - [{"type":"hist","name":N,"count":C,"total":T,"mean":M,"p50":P,
+       "p95":Q,"max":X}] — unitless samples, from {!observe}. *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+val enabled : unit -> bool
+(** One atomic load; [false] unless {!set_enabled} was called or
+    [PPDC_METRICS] is set in the environment. *)
+
+val set_enabled : bool -> unit
+
+val env_path : unit -> string option
+(** The [PPDC_METRICS] output path, if the variable is set and
+    non-empty. Reading it does not enable the layer. *)
+
+val now : unit -> float
+(** Wall-clock seconds (arbitrary epoch); for span math around code the
+    {!time} combinator cannot wrap. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a named monotonic counter. No-op when
+    disabled. *)
+
+val observe : string -> float -> unit
+(** Record one sample into a named histogram. Rejects nothing — callers
+    own their units — but non-finite samples are dropped so summaries
+    stay NaN-free. No-op when disabled. *)
+
+val observe_span : string -> float -> unit
+(** Record an externally measured duration (seconds) under a span name,
+    as if {!time} had produced it. No-op when disabled. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()]; when enabled, the wall-clock duration is
+    recorded under span [name] (also on exception). When disabled this
+    is exactly [f ()]. *)
+
+val emit : string -> (string * value) list -> unit
+(** Append a structured event record; events carry a global sequence
+    number so the exported order is the record order even across
+    domains. No-op when disabled. *)
+
+(** {1 Snapshot and export} *)
+
+type dist_summary = {
+  count : int;
+  total : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+type event = { seq : int; name : string; fields : (string * value) list }
+
+type snapshot = {
+  counters : (string * int) list;  (** name-sorted *)
+  spans : (string * dist_summary) list;  (** name-sorted, seconds *)
+  hists : (string * dist_summary) list;  (** name-sorted *)
+  events : event list;  (** sequence order *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge all domain shards (see the header note on when). *)
+
+val reset : unit -> unit
+(** Drop all recorded data in every shard (the enabled flag is left
+    alone). Intended for tests and long-lived embedders. *)
+
+val to_ndjson : snapshot -> string
+(** Render the schema above, one record per line, trailing newline. *)
+
+val export : path:string -> unit
+(** [to_ndjson (snapshot ())] written to [path] (truncates). *)
+
+(** {1 Minimal JSON reader}
+
+    Enough JSON to read this module's own NDJSON back (objects, arrays,
+    strings, numbers, booleans, null) — used by [ppdc metrics-summary]
+    without pulling a JSON dependency into the prelude. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val parse : string -> t
+  (** Raises [Failure] on malformed input or trailing garbage. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end

@@ -64,8 +64,10 @@ let percentile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty data";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q outside [0,1]";
+  if Array.exists Float.is_nan xs then
+    invalid_arg "Stats.percentile: NaN in data";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
   let hi = int_of_float (Float.ceil pos) in

@@ -27,8 +27,10 @@ val summary : float array -> summary
 
 val percentile : float array -> float -> float
 (** [percentile xs q] with [q] in [0,1]: linear-interpolation percentile
-    of the data. Raises [Invalid_argument] on an empty array or [q]
-    outside [0,1]. The input array is not modified. *)
+    of the data, ordered by [Float.compare]. Raises [Invalid_argument]
+    on an empty array, [q] outside [0,1], or a NaN data point (NaN has
+    no rank; polymorphic [compare] used to place it arbitrarily and
+    poison the interpolation). The input array is not modified. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** Renders as ["mean ± ci95"]. *)

@@ -1,5 +1,6 @@
 open Ppdc_core
 module Diurnal = Ppdc_traffic.Diurnal
+module Obs = Ppdc_prelude.Obs
 module Plan_baseline = Ppdc_baselines.Plan
 module Mcf_baseline = Ppdc_baselines.Mcf_migration
 
@@ -96,8 +97,9 @@ let step scenario state ~policy ~rates ~next_rates =
       (out.comm_cost, out.migration_cost, out.migrations)
 
 (* Shared loop: step the policy through a sequence of rate epochs.
-   [rates_of epoch] must accept one epoch past the end (for the
-   lookahead policy's final-hour forecast). *)
+   The forecast handed to the lookahead policy one epoch past the end
+   is the zero vector (the horizon contract documented in the mli), so
+   [rates_of] is only ever asked for epochs [0 .. epochs-1]. *)
 let run_epochs scenario ~policy ~initial_placement ~epochs ~rates_of =
   let state =
     { placement = Array.copy initial_placement; problem = scenario.Scenario.problem }
@@ -107,10 +109,27 @@ let run_epochs scenario ~policy ~initial_placement ~epochs ~rates_of =
         let hour = i + 1 in
         let current_flows = Problem.flows state.problem in
         let rates = rates_of ~flows:current_flows ~epoch:i in
-        let next_rates = rates_of ~flows:current_flows ~epoch:(i + 1) in
+        let next_rates =
+          if i + 1 >= epochs then Array.make (Array.length current_flows) 0.0
+          else rates_of ~flows:current_flows ~epoch:(i + 1)
+        in
+        let t0 = if Obs.enabled () then Obs.now () else 0.0 in
         let comm_cost, migration_cost, migrations =
           step scenario state ~policy ~rates ~next_rates
         in
+        if Obs.enabled () then begin
+          let dt = Obs.now () -. t0 in
+          Obs.observe_span ("sim.step." ^ policy_name policy) dt;
+          Obs.emit "sim.epoch"
+            [
+              ("policy", Obs.String (policy_name policy));
+              ("hour", Obs.Int hour);
+              ("comm_cost", Obs.Float comm_cost);
+              ("migration_cost", Obs.Float migration_cost);
+              ("migrations", Obs.Int migrations);
+              ("decision_s", Obs.Float dt);
+            ]
+        end;
         {
           hour;
           comm_cost;
@@ -164,8 +183,5 @@ let run_trace scenario ~policy ~trace =
     initial_placement_of scenario
       ~first_rates:(Ppdc_traffic.Trace.rates_at trace ~epoch:0)
   in
-  let zeros = Array.make (Problem.num_flows problem) 0.0 in
   run_epochs scenario ~policy ~initial_placement ~epochs
-    ~rates_of:(fun ~flows:_ ~epoch ->
-      if epoch >= epochs then zeros
-      else Ppdc_traffic.Trace.rates_at trace ~epoch)
+    ~rates_of:(fun ~flows:_ ~epoch -> Ppdc_traffic.Trace.rates_at trace ~epoch)

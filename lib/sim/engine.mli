@@ -15,10 +15,23 @@
       forecast: the frontier is evaluated against the *average* of this
       hour's and next hour's rate vectors, so the chain starts moving
       toward where the traffic is going rather than where it is. An
-      upper-bound study of what prediction is worth (not in the paper);
+      upper-bound study of what prediction is worth (not in the paper).
+      {b Horizon contract}: at the final epoch the "next hour" does not
+      exist; the forecast used there is the all-zero rate vector — the
+      day (or trace) simply ends. [run_day] and [run_trace] share this
+      contract (the engine substitutes the zero vector itself, in one
+      place), so replaying [Trace.of_diurnal] of a scenario's flows is
+      bit-identical to [run_day] under every policy, lookahead
+      included;
     - [Plan] / [Mcf] — the VM-migration baselines: the VNFs stay at the
       initial placement and the VMs chase them;
-    - [No_migration] — the initial placement rides out the whole day. *)
+    - [No_migration] — the initial placement rides out the whole day.
+
+    Observability: when {!Ppdc_prelude.Obs} is enabled, every simulated
+    epoch emits a [sim.epoch] event (policy, hour, comm/migration cost,
+    moves, decision latency) and records the policy's decision time
+    under the [sim.step.<policy>] span; the layer is a no-op
+    otherwise. *)
 
 type policy = Mpareto | Optimal | Mpareto_lookahead | Plan | Mcf | No_migration
 

@@ -4,14 +4,20 @@ type t = {
   pred : int array array;  (* pred.(src).(dst) on the tree rooted at src *)
 }
 
+module Obs = Ppdc_prelude.Obs
+
 (* One Dijkstra per source, distributed over the domain pool: each task
    only writes its own [dist]/[pred] slot, so the rows are identical to
    the sequential loop's for any PPDC_DOMAINS. *)
 let compute graph =
+  Obs.time "cost_matrix.compute" @@ fun () ->
   let n = Graph.num_nodes graph in
   let dist = Array.make n [||] and pred = Array.make n [||] in
   Ppdc_prelude.Parallel.parallel_for n (fun src ->
-      let d, p = Shortest_paths.dijkstra graph ~src in
+      let d, p =
+        Obs.time "cost_matrix.dijkstra" @@ fun () ->
+        Shortest_paths.dijkstra graph ~src
+      in
       Array.iter
         (fun x ->
           if x = infinity then
@@ -19,6 +25,7 @@ let compute graph =
         d;
       dist.(src) <- d;
       pred.(src) <- p);
+  Obs.incr ~by:n "cost_matrix.dijkstra_runs";
   { graph; dist; pred }
 
 let graph t = t.graph

@@ -13,10 +13,22 @@ let tau m h =
 
 let coast_offset_hours = 3
 
+(* West-coast flows run the same τ curve shifted by the coast offset,
+   wrapped modulo the period so the early hours see the tail of the
+   curve (Eq. 9 is cycle-stationary). Clamping instead of wrapping —
+   the old behaviour — silenced West flows for hours 1..3 and skipped
+   the tail, so the two coasts carried unequal daily volume. Outside
+   [1, N] there is no day at all and both coasts are zero. *)
 let scale m ~coast ~hour =
-  match (coast : Flow.coast) with
-  | East -> tau m hour
-  | West -> tau m (hour - coast_offset_hours)
+  if hour <= 0 || hour > m.hours then 0.0
+  else
+    match (coast : Flow.coast) with
+    | East -> tau m hour
+    | West ->
+        let shifted =
+          ((hour - 1 - coast_offset_hours) mod m.hours + m.hours) mod m.hours
+        in
+        tau m (shifted + 1)
 
 let rates_at m ~flows ~hour =
   Array.map

@@ -11,8 +11,11 @@
 
     with τ_min = 0.2 (after Eramo et al.). To model the US time-zone
     effect, east-coast flows lead west-coast flows by three hours: a
-    west-coast flow at hour [h] is scaled by [τ_{h−3}] (zero before its
-    day starts).
+    west-coast flow at hour [h] is scaled by [τ_{h−3}], with the index
+    wrapped modulo the period (Eq. 9 is cycle-stationary), so hours 1–3
+    carry the tail of the west curve and both coasts see the same total
+    daily volume. Outside [1, N] both coasts are zero — there is no
+    day.
 
     Note: as printed in the paper the peak value is [2·(1/2)·(1−τ_min) =
     0.8], i.e. τ_min caps the peak rather than flooring the valley; we
@@ -31,7 +34,9 @@ val coast_offset_hours : int
 
 val scale : t -> coast:Flow.coast -> hour:int -> float
 (** Traffic scale of a flow at the given hour: [τ_h] for east-coast
-    flows, [τ_{h−3}] for west-coast. *)
+    flows, [τ_{h−3 mod N}] for west-coast (the offset wraps around the
+    period). Zero for hours outside [1, N] on both coasts, so a
+    forecast one epoch past the horizon is the zero vector. *)
 
 val rates_at : t -> flows:Flow.t array -> hour:int -> float array
 (** The rate vector [λ] at the given hour:

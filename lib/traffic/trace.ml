@@ -104,9 +104,21 @@ let of_csv text =
       if header <> "flow,src_host,dst_host,base_rate,coast" then
         invalid_arg "Trace.of_csv: unexpected header";
       let flows = ref [] and rates = ref [] in
+      let next_epoch = ref 0 in
       let parse line =
         match String.split_on_char ',' line with
-        | "rates" :: _epoch :: values ->
+        | "rates" :: epoch :: values ->
+            (* The epoch column is authoritative, not decorative: rows
+               must arrive dense and in order, or the file's epochs
+               would be silently renumbered by line position. *)
+            let e = int_of_string epoch in
+            if e <> !next_epoch then
+              invalid_arg
+                (Printf.sprintf
+                   "Trace.of_csv: rates row carries epoch %d, expected %d \
+                    (epochs must be dense and in order)"
+                   e !next_epoch);
+            incr next_epoch;
             rates := Array.of_list (List.map float_of_string values) :: !rates
         | [ id; src; dst; rate; coast ] ->
             flows :=

@@ -52,8 +52,11 @@ val rates_at : t -> epoch:int -> float array
 
 val to_csv : t -> string
 val of_csv : string -> t
-(** Raises [Invalid_argument] on malformed input. [of_csv (to_csv t) = t]
-    up to float printing precision. *)
+(** Raises [Invalid_argument] on malformed input — including [rates]
+    rows whose epoch column is not the dense in-order sequence
+    [0, 1, 2, ...] (a gap, duplicate or reordering would otherwise be
+    silently renumbered by line position). [of_csv (to_csv t) = t] up
+    to float printing precision. *)
 
 val save : t -> path:string -> unit
 val load : path:string -> t

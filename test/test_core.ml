@@ -391,6 +391,20 @@ let test_link_load_structure () =
   Alcotest.(check bool) "max >= mean" true
     (Link_load.max_load loads >= Link_load.mean_load loads)
 
+let test_link_load_edgeless_mean_is_zero () =
+  (* Regression: 0 total / 0 edges used to evaluate to NaN. *)
+  let g = Ppdc_topology.Graph.make ~kinds:[| Ppdc_topology.Graph.Switch |] ~edges:[] in
+  let idle = Link_load.of_graph g in
+  Alcotest.(check (float 0.0)) "edgeless mean is zero" 0.0
+    (Link_load.mean_load idle);
+  Alcotest.(check bool) "finite, not NaN" false
+    (Float.is_nan (Link_load.mean_load idle));
+  (* And an idle table over a real graph reports zero everywhere. *)
+  let problem = fig3 () in
+  let idle = Link_load.of_graph (Problem.graph problem) in
+  Alcotest.(check (float 0.0)) "idle mean" 0.0 (Link_load.mean_load idle);
+  Alcotest.(check (float 0.0)) "idle max" 0.0 (Link_load.max_load idle)
+
 let () =
   Alcotest.run "ppdc_core"
     [
@@ -461,6 +475,8 @@ let () =
             test_link_load_equals_eq1;
           Alcotest.test_case "per-link accounting on Fig. 3" `Quick
             test_link_load_structure;
+          Alcotest.test_case "edgeless mean load is zero" `Quick
+            test_link_load_edgeless_mean_is_zero;
         ] );
       ( "cost-model",
         [

@@ -3,6 +3,8 @@ module Union_find = Ppdc_prelude.Union_find
 module Rng = Ppdc_prelude.Rng
 module Stats = Ppdc_prelude.Stats
 module Table = Ppdc_prelude.Table
+module Obs = Ppdc_prelude.Obs
+module Parallel = Ppdc_prelude.Parallel
 
 (* --- priority queue -------------------------------------------------- *)
 
@@ -173,6 +175,16 @@ let test_stats_empty_raises () =
     (Invalid_argument "Stats.summary: empty data") (fun () ->
       ignore (Stats.summary [||]))
 
+let test_stats_percentile_rejects_nan () =
+  (* Regression: polymorphic [compare] placed NaN at an arbitrary rank
+     and the interpolation silently produced garbage. *)
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.percentile: NaN in data") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 3.0 |] 0.5));
+  (* Float.compare must still order negative zero, infinities, etc. *)
+  Alcotest.(check (float 0.0)) "infinities ordered" 1.0
+    (Stats.percentile [| Float.infinity; 1.0; Float.neg_infinity |] 0.5)
+
 let prop_stats_mean_bounds =
   QCheck.Test.make ~name:"mean lies within min and max" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
@@ -180,6 +192,134 @@ let prop_stats_mean_bounds =
       let arr = Array.of_list xs in
       let s = Stats.summary arr in
       s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+(* --- observability ------------------------------------------------------ *)
+
+(* Obs state is global; each test starts from a clean, enabled slate and
+   leaves the layer disabled. *)
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    f
+
+let test_obs_disabled_is_noop () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  Obs.incr "c";
+  Obs.observe "h" 1.0;
+  Obs.observe_span "s" 0.5;
+  Obs.emit "e" [ ("k", Obs.Int 1) ];
+  Alcotest.(check int) "no work recorded" 0
+    (Obs.time "t" (fun () ->
+         let snap = Obs.snapshot () in
+         List.length snap.Obs.counters
+         + List.length snap.Obs.spans
+         + List.length snap.Obs.hists
+         + List.length snap.Obs.events))
+
+let test_obs_counters_and_hists () =
+  with_obs @@ fun () ->
+  Obs.incr "c";
+  Obs.incr ~by:4 "c";
+  Obs.observe "h" 1.0;
+  Obs.observe "h" 3.0;
+  Obs.observe "h" Float.nan (* dropped: summaries stay NaN-free *);
+  let x = Obs.time "span" (fun () -> 42) in
+  Alcotest.(check int) "time passes the result through" 42 x;
+  let snap = Obs.snapshot () in
+  Alcotest.(check (list (pair string int))) "counter summed" [ ("c", 5) ]
+    snap.Obs.counters;
+  (match snap.Obs.hists with
+  | [ ("h", d) ] ->
+      Alcotest.(check int) "two finite samples" 2 d.Obs.count;
+      Alcotest.(check (float 1e-9)) "mean" 2.0 d.Obs.mean;
+      Alcotest.(check (float 1e-9)) "p50" 2.0 d.Obs.p50;
+      Alcotest.(check (float 1e-9)) "max" 3.0 d.Obs.max
+  | _ -> Alcotest.fail "expected exactly one histogram");
+  (match snap.Obs.spans with
+  | [ ("span", d) ] ->
+      Alcotest.(check int) "one timing" 1 d.Obs.count;
+      Alcotest.(check bool) "non-negative duration" true (d.Obs.total >= 0.0)
+  | _ -> Alcotest.fail "expected exactly one span")
+
+let test_obs_events_ordered () =
+  with_obs @@ fun () ->
+  for i = 0 to 4 do
+    Obs.emit "tick" [ ("i", Obs.Int i) ]
+  done;
+  let snap = Obs.snapshot () in
+  Alcotest.(check (list int)) "sequence order" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun (e : Obs.event) -> e.Obs.seq) snap.Obs.events)
+
+let test_obs_merges_domain_shards () =
+  with_obs @@ fun () ->
+  (* Each task bumps the same counter once; the merged snapshot must see
+     every bump no matter how many domains the pool used. *)
+  let tasks = 64 in
+  Parallel.parallel_for tasks (fun i ->
+      Obs.incr "work";
+      Obs.observe "task_index" (float_of_int i));
+  let snap = Obs.snapshot () in
+  Alcotest.(check (list (pair string int))) "all bumps merged"
+    [ ("work", tasks) ] snap.Obs.counters;
+  match snap.Obs.hists with
+  | [ ("task_index", d) ] ->
+      Alcotest.(check int) "all samples merged" tasks d.Obs.count
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let test_obs_ndjson_roundtrip () =
+  with_obs @@ fun () ->
+  Obs.incr ~by:7 "solver.runs";
+  Obs.observe_span "solve" 0.25;
+  Obs.emit "epoch"
+    [
+      ("policy", Obs.String "mPareto \"quoted\"\n");
+      ("hour", Obs.Int 3);
+      ("cost", Obs.Float 12.5);
+      ("moved", Obs.Bool true);
+    ];
+  let text = Obs.to_ndjson (Obs.snapshot ()) in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  let records = List.map Obs.Json.parse lines in
+  let typed kind =
+    List.filter
+      (fun r -> Obs.Json.member "type" r = Some (Obs.Json.Str kind))
+      records
+  in
+  Alcotest.(check int) "one meta line" 1 (List.length (typed "meta"));
+  (match typed "event" with
+  | [ e ] ->
+      Alcotest.(check bool) "string field survives escaping" true
+        (Obs.Json.member "policy" e = Some (Obs.Json.Str "mPareto \"quoted\"\n"));
+      Alcotest.(check bool) "numeric field" true
+        (Obs.Json.member "cost" e = Some (Obs.Json.Num 12.5))
+  | _ -> Alcotest.fail "expected exactly one event");
+  (match typed "counter" with
+  | [ c ] ->
+      Alcotest.(check bool) "counter value" true
+        (Obs.Json.member "value" c = Some (Obs.Json.Num 7.0))
+  | _ -> Alcotest.fail "expected exactly one counter");
+  match typed "span" with
+  | [ s ] ->
+      Alcotest.(check bool) "span total" true
+        (Obs.Json.member "total_s" s = Some (Obs.Json.Num 0.25))
+  | _ -> Alcotest.fail "expected exactly one span"
+
+let test_obs_json_parser_rejects_garbage () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" text) true
+        (try
+           ignore (Obs.Json.parse text);
+           false
+         with Failure _ -> true))
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "{\"a\":1} trailing"; "\"unterminated" ]
 
 (* --- table ------------------------------------------------------------- *)
 
@@ -252,8 +392,25 @@ let () =
           Alcotest.test_case "summary of constants" `Quick test_stats_summary_ci;
           Alcotest.test_case "percentiles" `Quick test_stats_percentile;
           Alcotest.test_case "empty input raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "NaN rejected in percentile" `Quick
+            test_stats_percentile_rejects_nan;
         ] );
       qsuite "stats-properties" [ prop_stats_mean_bounds ];
+      ( "obs",
+        [
+          Alcotest.test_case "disabled layer is a no-op" `Quick
+            test_obs_disabled_is_noop;
+          Alcotest.test_case "counters, histograms, spans" `Quick
+            test_obs_counters_and_hists;
+          Alcotest.test_case "events keep sequence order" `Quick
+            test_obs_events_ordered;
+          Alcotest.test_case "domain shards merge" `Quick
+            test_obs_merges_domain_shards;
+          Alcotest.test_case "ndjson round-trip" `Quick
+            test_obs_ndjson_roundtrip;
+          Alcotest.test_case "json parser rejects garbage" `Quick
+            test_obs_json_parser_rejects_garbage;
+        ] );
       ( "table",
         [
           Alcotest.test_case "aligned rendering" `Quick test_table_renders;

@@ -132,6 +132,9 @@ let test_lookahead_policy_runs () =
   done
 
 let test_run_trace_equals_run_day () =
+  (* The horizon contract (engine.mli): both paths substitute the zero
+     vector for the forecast one epoch past the end, so the replay is
+     bit-identical hour for hour — lookahead included. *)
   let sc = scenario ~seed:4 () in
   let flows = Problem.flows (problem ~l:20 ~n:4 ~seed:4) in
   let trace = Ppdc_traffic.Trace.of_diurnal Ppdc_traffic.Diurnal.default ~flows in
@@ -141,8 +144,68 @@ let test_run_trace_equals_run_day () =
       let replay = Engine.run_trace sc ~policy ~trace in
       Alcotest.(check (float 1e-6))
         (Engine.policy_name policy ^ ": replay = diurnal day")
-        day.Engine.total_cost replay.Engine.total_cost)
+        day.Engine.total_cost replay.Engine.total_cost;
+      Array.iteri
+        (fun i (h : Engine.hour_record) ->
+          let r = replay.Engine.hours.(i) in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s: hour %d comm" (Engine.policy_name policy)
+               h.hour)
+            h.comm_cost r.comm_cost;
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s: hour %d migration" (Engine.policy_name policy)
+               h.hour)
+            h.migration_cost r.migration_cost;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: hour %d moves" (Engine.policy_name policy)
+               h.hour)
+            h.migrations r.migrations)
+        day.Engine.hours)
     Engine.[ Mpareto; Mpareto_lookahead; No_migration; Plan ]
+
+let test_lookahead_zero_forecast_past_horizon () =
+  (* A one-epoch trace: the only "next hour" lies past the horizon, so
+     the lookahead decision must average this epoch's rates with the
+     zero vector — reproduced here by hand from the exposed initial
+     placement. *)
+  let sc = scenario ~seed:7 () in
+  let flows = Problem.flows sc.Scenario.problem in
+  let rates = Ppdc_traffic.Flow.base_rates flows in
+  let trace = Ppdc_traffic.Trace.make ~flows ~rates:[| rates |] in
+  let run = Engine.run_trace sc ~policy:Engine.Mpareto_lookahead ~trace in
+  Alcotest.(check int) "one epoch" 1 (Array.length run.hours);
+  let decision = Array.map (fun r -> 0.5 *. r) rates in
+  let out =
+    Mpareto.migrate sc.Scenario.problem ~rates:decision ~mu:sc.Scenario.mu
+      ~current:run.initial_placement ?pair_limit:sc.Scenario.pair_limit ()
+  in
+  let comm = Cost.comm_cost sc.Scenario.problem ~rates out.migration in
+  Alcotest.(check (float 0.0)) "comm charged against reality" comm
+    run.hours.(0).comm_cost;
+  Alcotest.(check (float 0.0)) "migration cost of the half-rate decision"
+    out.migration_cost run.hours.(0).migration_cost
+
+let test_metrics_events_per_epoch () =
+  let module Obs = Ppdc_prelude.Obs in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    (fun () ->
+      let run = Engine.run_day (scenario ~seed:2 ()) ~policy:Engine.Mpareto in
+      let snap = Obs.snapshot () in
+      let epochs =
+        List.filter (fun (e : Obs.event) -> e.Obs.name = "sim.epoch")
+          snap.Obs.events
+      in
+      Alcotest.(check int) "one sim.epoch event per hour"
+        (Array.length run.hours) (List.length epochs);
+      Alcotest.(check bool) "policy step span recorded" true
+        (List.mem_assoc "sim.step.mPareto" snap.Obs.spans);
+      Alcotest.(check bool) "solver span recorded" true
+        (List.mem_assoc "placement_dp.solve" snap.Obs.spans))
 
 let test_run_trace_rejects_mismatch () =
   let sc = scenario ~seed:5 () in
@@ -185,6 +248,10 @@ let () =
             test_lookahead_policy_runs;
           Alcotest.test_case "trace replay equals diurnal day" `Quick
             test_run_trace_equals_run_day;
+          Alcotest.test_case "zero forecast past the horizon" `Quick
+            test_lookahead_zero_forecast_past_horizon;
+          Alcotest.test_case "metrics events per epoch" `Quick
+            test_metrics_events_per_epoch;
           Alcotest.test_case "trace replay validates flows" `Quick
             test_run_trace_rejects_mismatch;
           Alcotest.test_case "policy names" `Quick test_policy_names;

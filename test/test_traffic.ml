@@ -165,8 +165,38 @@ let test_coast_offset () =
     (Diurnal.scale m ~coast:West ~hour:5);
   Alcotest.(check (float 1e-9)) "east at face value" (Diurnal.tau m 5)
     (Diurnal.scale m ~coast:East ~hour:5);
-  Alcotest.(check (float 1e-9)) "west is silent early" 0.0
-    (Diurnal.scale m ~coast:West ~hour:2)
+  (* The offset wraps modulo the period: the early west hours carry the
+     tail of the west curve (hour 2 ≡ τ_{11}), they are not dead air. *)
+  Alcotest.(check (float 1e-9)) "west wraps early" (Diurnal.tau m 11)
+    (Diurnal.scale m ~coast:West ~hour:2);
+  Alcotest.(check (float 1e-9)) "west curve zero-point at hour 3"
+    (Diurnal.tau m 12)
+    (Diurnal.scale m ~coast:West ~hour:3)
+
+let test_coast_equal_daily_volume () =
+  (* Regression: the clamped (non-wrapping) offset zeroed west hours
+     1..3 and dropped the tail of the west curve, so a west flow moved
+     strictly less daily volume than an identical east flow. *)
+  let m = Diurnal.default in
+  let daily coast =
+    let total = ref 0.0 in
+    for hour = 1 to m.Diurnal.hours do
+      total := !total +. Diurnal.scale m ~coast ~hour
+    done;
+    !total
+  in
+  Alcotest.(check (float 1e-9)) "east and west daily volume" (daily Flow.East)
+    (daily Flow.West)
+
+let test_scale_zero_outside_day () =
+  let m = Diurnal.default in
+  List.iter
+    (fun hour ->
+      Alcotest.(check (float 0.0)) "east zero outside day" 0.0
+        (Diurnal.scale m ~coast:East ~hour);
+      Alcotest.(check (float 0.0)) "west zero outside day" 0.0
+        (Diurnal.scale m ~coast:West ~hour))
+    [ -1; 0; m.Diurnal.hours + 1; m.Diurnal.hours + 5 ]
 
 let test_rates_at () =
   let m = Diurnal.default in
@@ -193,12 +223,16 @@ let test_trace_of_diurnal () =
   let t = sample_trace () in
   Alcotest.(check int) "12 epochs" 12 (Ppdc_traffic.Trace.num_epochs t);
   Alcotest.(check int) "6 flows" 6 (Ppdc_traffic.Trace.num_flows t);
-  (* Epoch 0 is hour 1: west-coast flows are still silent. *)
+  (* Epoch 0 is hour 1: west-coast flows run the wrapped tail of their
+     curve (τ_{10} for the default 12-hour day). *)
+  let m = Ppdc_traffic.Diurnal.default in
   let first = Ppdc_traffic.Trace.rates_at t ~epoch:0 in
   Array.iteri
     (fun i r ->
       if t.flows.(i).Flow.coast = West then
-        Alcotest.(check (float 1e-9)) "west silent at hour 1" 0.0 r)
+        Alcotest.(check (float 1e-9)) "west tail at hour 1"
+          (t.flows.(i).Flow.base_rate *. Ppdc_traffic.Diurnal.tau m 10)
+          r)
     first
 
 let test_trace_csv_roundtrip () =
@@ -284,6 +318,31 @@ let test_trace_rejects_garbage () =
   reject "ragged rates"
     "flow,src_host,dst_host,base_rate,coast\n0,1,2,1.0,east\nrates,0,1.0,2.0\n"
 
+let test_trace_epoch_column_validated () =
+  (* Regression: the epoch column used to be ignored, so gapped,
+     duplicated or reordered rates rows were silently renumbered by
+     line position. *)
+  let header = "flow,src_host,dst_host,base_rate,coast\n0,1,2,1.0,east\n" in
+  let reject name rows =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Ppdc_traffic.Trace.of_csv (header ^ rows));
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "gap" "rates,0,1.0\nrates,2,2.0\n";
+  reject "duplicate" "rates,0,1.0\nrates,0,2.0\n";
+  reject "reordered" "rates,1,1.0\nrates,0,2.0\n";
+  reject "not starting at zero" "rates,1,1.0\n";
+  reject "non-integer epoch" "rates,x,1.0\n";
+  (* Dense in-order epochs parse, and the epochs keep their indices. *)
+  let t = Ppdc_traffic.Trace.of_csv (header ^ "rates,0,1.0\nrates,1,2.0\n") in
+  Alcotest.(check (float 0.0)) "epoch 1 kept" 2.0
+    (Ppdc_traffic.Trace.rates_at t ~epoch:1).(0);
+  (* And to_csv output round-trips through the validation. *)
+  let rt = Ppdc_traffic.Trace.of_csv (Ppdc_traffic.Trace.to_csv t) in
+  Alcotest.(check int) "round-trip epochs" 2 (Ppdc_traffic.Trace.num_epochs rt)
+
 let prop_tau_bounded =
   QCheck.Test.make ~name:"tau stays within [0, 1]" ~count:500
     QCheck.(pair (int_range (-5) 25) (float_bound_inclusive 1.0))
@@ -325,6 +384,10 @@ let () =
           Alcotest.test_case "Eq. 9 shape" `Quick test_tau_shape;
           Alcotest.test_case "zero outside the day" `Quick test_tau_out_of_range;
           Alcotest.test_case "3-hour coast offset" `Quick test_coast_offset;
+          Alcotest.test_case "equal daily volume per coast" `Quick
+            test_coast_equal_daily_volume;
+          Alcotest.test_case "scale zero outside the day" `Quick
+            test_scale_zero_outside_day;
           Alcotest.test_case "per-flow rate vectors" `Quick test_rates_at;
         ] );
       ( "trace",
@@ -334,6 +397,8 @@ let () =
           Alcotest.test_case "file round-trip" `Quick test_trace_file_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick
             test_trace_rejects_garbage;
+          Alcotest.test_case "epoch column validated" `Quick
+            test_trace_epoch_column_validated;
           Alcotest.test_case "churn windows" `Quick test_trace_churn;
           Alcotest.test_case "churn validation" `Quick
             test_trace_churn_validation;
