@@ -1,0 +1,21 @@
+# Convenience entry points; dune is the real build system.
+.PHONY: all build test lint bench clean
+
+all: build lint test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# ppdc-lint reads the .cmt typed trees dune emits, so a build must come
+# first. Non-zero exit on any finding — this is the same gate CI runs.
+lint: build
+	dune exec ppdc-lint -- lib bin bench
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

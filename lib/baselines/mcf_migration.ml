@@ -31,7 +31,10 @@ let migrate problem ~rates ~mu_vm ~placement ?capacity ?(candidate_limit = 64)
         let ranked =
           Array.to_list hosts
           |> List.map (fun h -> (score h, h))
-          |> List.sort compare
+          |> List.sort (fun (a, ha) (b, hb) ->
+                 match Float.compare a b with
+                 | 0 -> Int.compare ha hb
+                 | c -> c)
         in
         let shortlist =
           let rec take k = function

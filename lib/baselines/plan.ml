@@ -9,6 +9,14 @@ module Graph = Ppdc_topology.Graph
    scoring pass instead of one per move. *)
 let migrate problem ~rates ~mu_vm ~placement ?capacity ?max_moves () =
   Placement.validate problem placement;
+  (* A NaN rate would poison every utility and let the descending sort
+     order candidates arbitrarily; fail loudly instead of migrating on
+     garbage. *)
+  Array.iteri
+    (fun i r ->
+      if Float.is_nan r then
+        invalid_arg (Printf.sprintf "Plan.migrate: NaN rate for flow %d" i))
+    rates;
   let capacity =
     match capacity with Some c -> c | None -> Vm.default_capacity problem
   in
@@ -33,7 +41,7 @@ let migrate problem ~rates ~mu_vm ~placement ?capacity ?max_moves () =
           if utility > 1e-12 then options := (utility, to_host) :: !options
         end)
       hosts;
-    List.sort (fun (a, _) (b, _) -> compare b a) !options
+    List.sort (fun (a, _) (b, _) -> Float.compare b a) !options
   in
   let scored =
     Array.to_list vms
@@ -41,7 +49,7 @@ let migrate problem ~rates ~mu_vm ~placement ?capacity ?max_moves () =
            match candidates vm with
            | [] -> None
            | (u, _) :: _ as options -> Some (u, vm, options))
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare b a)
+    |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a)
   in
   let migration_cost = ref 0.0 in
   let migrations = ref 0 in

@@ -21,6 +21,9 @@ let catalogue =
     ("http-header-enricher", Application);
     ("packet-monitor", Application);
   |]
+[@@ppdc.domain_safe
+  "array literal initialised at module load and never mutated; \
+   read-only catalogue shared freely across domains"]
 
 let classify name =
   match Array.find_opt (fun (n, _) -> n = name) catalogue with

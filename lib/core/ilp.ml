@@ -33,7 +33,7 @@ let emit problem ~rates ~migration_term =
   let order = ref [] in
   let coefficients = Hashtbl.create 256 in
   let term coefficient name =
-    if coefficient <> 0.0 then begin
+    if not (Float.equal coefficient 0.0) then begin
       if not (Hashtbl.mem coefficients name) then order := name :: !order;
       Hashtbl.replace coefficients name
         (coefficient

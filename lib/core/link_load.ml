@@ -30,6 +30,9 @@ let compute problem ~rates placement =
   Array.iter
     (fun (f : Flow.t) ->
       let rate = rates.(f.id) in
+      if Float.is_nan rate then
+        invalid_arg
+          (Printf.sprintf "Link_load.compute: NaN rate for flow %d" f.id);
       if rate > 0.0 then begin
         (* Legs: src -> p(1), p(j) -> p(j+1), p(n) -> dst. *)
         add_path t ~rate (Cost_matrix.path cm ~src:f.src_host ~dst:placement.(0));
@@ -65,5 +68,5 @@ let weighted_total t =
 
 let hottest t k =
   Hashtbl.fold (fun (u, v) l acc -> (u, v, l) :: acc) t.loads []
-  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
   |> List.filteri (fun i _ -> i < k)

@@ -60,8 +60,8 @@ let solve problem ~rates ~mu ~current ?(budget = 20_000_000) ?incumbent () =
         let order = Array.copy switches in
         Array.sort
           (fun a b ->
-            match compare (child_key depth a) (child_key depth b) with
-            | 0 -> compare a b
+            match Float.compare (child_key depth a) (child_key depth b) with
+            | 0 -> Int.compare a b
             | c -> c)
           order;
         let remaining_after = n - depth - 1 in

@@ -1,4 +1,3 @@
-module Graph = Ppdc_topology.Graph
 module Rng = Ppdc_prelude.Rng
 
 type t = int array

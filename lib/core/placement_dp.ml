@@ -7,12 +7,17 @@ type outcome = {
   objective : float;
 }
 
-(* The k switches with the smallest key. *)
-let top_k keys switches k =
+(* The k switches with the smallest (float) key. Monomorphic on purpose:
+   a polymorphic [compare] here would silently misorder NaN keys — the
+   generalized-helper variant of the Stats.percentile bug that ppdc-lint
+   R1 cannot see through instantiation. *)
+let top_k (keys : float array) switches k =
   let sorted = Array.copy switches in
   Array.sort
     (fun a b ->
-      match compare keys.(a) keys.(b) with 0 -> compare a b | c -> c)
+      match Float.compare keys.(a) keys.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
     sorted;
   if k >= Array.length sorted then sorted else Array.sub sorted 0 k
 
@@ -50,7 +55,7 @@ let solve_n2 problem att ingresses egresses =
         egresses)
     ingresses;
   Obs.incr ~by:!tried "placement_dp.pairs_tried";
-  if !best = infinity then
+  if Float.equal !best infinity then
     invalid_arg
       "Placement_dp.solve: no feasible ingress/egress pair (widen pair_limit)";
   let s, t = !best_pair in

@@ -55,7 +55,9 @@ let ordered_from ctx st u =
       let o = Array.copy ctx.switches in
       Array.sort
         (fun a b ->
-          match compare (ctx.d u a) (ctx.d u b) with 0 -> compare a b | c -> c)
+          match Float.compare (ctx.d u a) (ctx.d u b) with
+          | 0 -> Int.compare a b
+          | c -> c)
         o;
       Hashtbl.add st.order_cache u o;
       o
@@ -176,8 +178,8 @@ let solve problem ~rates ?(budget = 20_000_000) ?incumbent () =
     let o = Array.copy switches in
     Array.sort
       (fun a b ->
-        match compare att.a_in.(a) att.a_in.(b) with
-        | 0 -> compare a b
+        match Float.compare att.a_in.(a) att.a_in.(b) with
+        | 0 -> Int.compare a b
         | c -> c)
       o;
     o

@@ -182,7 +182,7 @@ let query t ~src ~n ?(exclude = [||]) ?max_edges () =
         if edges > first_attempt then Obs.incr "stroll_dp.edge_escalations";
         ensure_levels t edges;
         let best, _ = level t edges in
-        if best.(src_local) = infinity then attempt (edges + 1)
+        if Float.equal best.(src_local) infinity then attempt (edges + 1)
         else begin
           let walk = extract_walk t ~src_local ~edges in
           let distinct = distinct_counting t ~walk ~src ~excluded in
@@ -221,7 +221,8 @@ let nearest_neighbour ~cm ~src ~dst ~n ~eligible =
     Hashtbl.iter
       (fun v () ->
         let d = Cost_matrix.cost cm !current v in
-        if d < !best || (d = !best && (!chosen = -1 || v < !chosen)) then begin
+        if d < !best || (Float.equal d !best && (!chosen = -1 || v < !chosen))
+        then begin
           best := d;
           chosen := v
         end)

@@ -49,7 +49,9 @@ let solve ~cm ~src ~dst ~n ?candidates ?(budget = 20_000_000) ?incumbent () =
           let o = Array.copy candidates in
           Array.sort
             (fun a b ->
-              match compare (d u a) (d u b) with 0 -> compare a b | c -> c)
+              match Float.compare (d u a) (d u b) with
+              | 0 -> Int.compare a b
+              | c -> c)
             o;
           Hashtbl.add order_cache u o;
           o

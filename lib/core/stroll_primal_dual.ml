@@ -7,7 +7,7 @@ module Union_find = Ppdc_prelude.Union_find
 type component = {
   mutable active : bool;
   mutable potential : float;  (* prize money left to spend on growth *)
-  mutable members : int list;
+  members : int list;
 }
 
 (* [grow ~dist ~prize ~root ~terminal nn] runs rooted PCST moat growth on

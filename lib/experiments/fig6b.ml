@@ -1,6 +1,5 @@
 module Table = Ppdc_prelude.Table
 module Rng = Ppdc_prelude.Rng
-module Flow = Ppdc_traffic.Flow
 module Workload = Ppdc_traffic.Workload
 open Ppdc_core
 

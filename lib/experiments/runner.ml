@@ -1,5 +1,4 @@
 module Fat_tree = Ppdc_topology.Fat_tree
-module Graph = Ppdc_topology.Graph
 module Cost_matrix = Ppdc_topology.Cost_matrix
 module Workload = Ppdc_traffic.Workload
 module Rng = Ppdc_prelude.Rng
@@ -14,6 +13,9 @@ open Ppdc_core
    wait for one build rather than redo it. *)
 let unweighted_cache : (int, Fat_tree.t * Cost_matrix.t) Hashtbl.t =
   Hashtbl.create 4
+[@@ppdc.domain_safe
+  "every lookup and insert happens inside unweighted_fat_tree under \
+   unweighted_cache_mutex; the cached values are immutable after build"]
 
 let unweighted_cache_mutex = Mutex.create ()
 

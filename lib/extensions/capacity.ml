@@ -118,7 +118,7 @@ let solve_optimal problem ~rates ~capacity ?(budget = 5_000_000) () =
   in
   dfs 0 0.0;
   let distinct =
-    Array.to_list !best |> List.sort_uniq compare |> List.length
+    Array.to_list !best |> List.sort_uniq Int.compare |> List.length
   in
   ( { placement = !best; cost = !best_cost; blocks = distinct },
     not !exhausted )

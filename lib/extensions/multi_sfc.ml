@@ -124,7 +124,7 @@ let chain_order t ~rates =
     Array.init (num_chains t) (fun c ->
         (Flow.total_rate (project_rates t c rates), c))
   in
-  Array.sort (fun (a, _) (b, _) -> compare b a) weights;
+  Array.sort (fun (a, _) (b, _) -> Float.compare b a) weights;
   Array.map snd weights
 
 let place t ~rates =

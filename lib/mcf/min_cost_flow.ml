@@ -8,7 +8,7 @@ type t = {
   mutable arc_cap : int array;
   mutable arc_cost : float array;
   mutable arc_count : int;
-  mutable head : int list array;  (* arc indices leaving each node *)
+  head : int list array;  (* arc indices leaving each node *)
   mutable solved : bool;
 }
 
@@ -88,7 +88,7 @@ let initial_potentials t ~source =
           t.head.(u)
     done
   done;
-  Array.map (fun d -> if d = infinity then 0.0 else d) dist
+  Array.map (fun d -> if Float.equal d infinity then 0.0 else d) dist
 
 let solve ?(max_flow = max_int) t ~source ~sink =
   if t.solved then invalid_arg "Min_cost_flow.solve: already solved";
@@ -144,7 +144,7 @@ let solve ?(max_flow = max_int) t ~source ~sink =
             if not settled.(sink) then drain ()
       in
       drain ();
-      if dist.(sink) = infinity then continue := false
+      if Float.equal dist.(sink) infinity then continue := false
       else begin
         (* Partial potential update: settled nodes advance by their own
            distance, everything else by the sink's — this keeps reduced

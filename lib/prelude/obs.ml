@@ -51,6 +51,11 @@ type shard = {
 }
 
 let registry : shard list ref = ref []
+[@@ppdc.domain_safe
+  "appended under registry_mutex at shard creation (Domain.DLS init); \
+   snapshot/reset iterate a copy taken under the same mutex, and each \
+   shard's contents are protected by its own per-shard lock"]
+
 let registry_mutex = Mutex.create ()
 let event_seq = Atomic.make 0
 
@@ -234,7 +239,8 @@ let float_repr x =
   else begin
     (* Shortest representation that still round-trips. *)
     let s = Printf.sprintf "%.12g" x in
-    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+    if Float.equal (float_of_string s) x then s
+    else Printf.sprintf "%.17g" x
   end
 
 let value_into buffer = function

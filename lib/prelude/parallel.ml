@@ -124,8 +124,12 @@ let make_pool num_workers =
   pool
 
 let pool_state : pool option ref = ref None
+[@@ppdc.domain_safe "read and written only while holding pool_mutex"]
+
 let pool_mutex = Mutex.create ()
+
 let exit_hook_registered = ref false
+[@@ppdc.domain_safe "flipped once under pool_mutex inside obtain_pool"]
 
 let shutdown_locked () =
   match !pool_state with

@@ -20,7 +20,7 @@ let compute graph =
       in
       Array.iter
         (fun x ->
-          if x = infinity then
+          if Float.equal x infinity then
             invalid_arg "Cost_matrix.compute: graph is not connected")
         d;
       dist.(src) <- d;

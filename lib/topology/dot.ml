@@ -27,7 +27,7 @@ let of_graph ?(highlight = []) ?(labels = fun _ -> None) g =
   done;
   List.iter
     (fun (u, v, w) ->
-      if w = 1.0 then
+      if Float.equal w 1.0 then
         Buffer.add_string buffer (Printf.sprintf "  n%d -- n%d;\n" u v)
       else
         Buffer.add_string buffer

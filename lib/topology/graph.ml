@@ -47,7 +47,13 @@ let make ~kinds ~edges =
   let edge_list =
     edges
     |> List.map (fun (u, v, w) -> if u < v then (u, v, w) else (v, u, w))
-    |> List.sort compare
+    |> List.sort (fun (u1, v1, w1) (u2, v2, w2) ->
+           match Int.compare u1 u2 with
+           | 0 -> (
+               match Int.compare v1 v2 with
+               | 0 -> Float.compare w1 w2
+               | c -> c)
+           | c -> c)
     |> Array.of_list
   in
   let ids_of_kind k =

@@ -23,7 +23,7 @@ let dijkstra g ~src =
                 pred.(v) <- u;
                 Pqueue.push queue candidate v
               end
-              else if candidate = dist.(v) && u < pred.(v) then
+              else if Float.equal candidate dist.(v) && u < pred.(v) then
                 (* Equal cost via a lower-numbered predecessor: keeps
                    extracted paths deterministic; [v] is already queued at
                    this priority so no re-push is needed. *)

@@ -1,0 +1,11 @@
+(* Must trigger R1-poly-compare: the polymorphic compare family
+   instantiated at float (or a type containing float). *)
+
+let sort_rates (rates : float list) = List.sort compare rates
+
+let worst (pairs : (float * int) list) =
+  List.sort (fun (a, _) (b, _) -> compare b a) pairs
+
+let has_rate (r : float) rates = List.mem r rates
+
+let cheaper (a : float) b = min a b

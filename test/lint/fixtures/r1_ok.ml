@@ -1,0 +1,17 @@
+(* Must NOT trigger R1: explicit float comparators, int instantiations,
+   and one deliberate polymorphic sort suppressed with [@ppdc.allow]. *)
+
+let sort_rates (rates : float list) = List.sort Float.compare rates
+
+let worst (pairs : (float * int) list) =
+  List.sort (fun (a, _) (b, _) -> Float.compare b a) pairs
+
+let has_rate (r : float) rates = List.exists (Float.equal r) rates
+
+let cheaper (a : float) b = Float.min a b
+
+(* compare at int is fine: ints have no NaN. *)
+let sort_ids (ids : int list) = List.sort compare ids
+
+let sort_raw (rates : float list) =
+  (List.sort compare rates [@ppdc.allow "R1"])

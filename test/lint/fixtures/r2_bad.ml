@@ -1,0 +1,4 @@
+(* Must trigger R2-float-equality: =/<> at type float. *)
+
+let is_idle (load : float) = load = 0.0
+let changed (a : float) (b : float) = a <> b

@@ -1,0 +1,9 @@
+(* Must NOT trigger R2: Float.equal, int equality, and one deliberate
+   exact comparison suppressed with [@ppdc.allow]. *)
+
+let is_idle (load : float) = Float.equal load 0.0
+let changed (a : float) (b : float) = not (Float.equal a b)
+let same_id (a : int) (b : int) = a = b
+(* Note the extra parens: in [(a = b [@attr])] the attribute would bind
+   to [b] alone, leaving the [=] occurrence unsuppressed. *)
+let exact_hit (a : float) (b : float) = ((a = b) [@ppdc.allow "R2"])

@@ -1,0 +1,11 @@
+(* Must trigger R3-quadratic-list: List.nth in library code (the
+   Stroll_dp level-store bug was exactly this inside a loop). *)
+
+let level (store : float list) i = List.nth store i
+
+let total (store : float list) =
+  let acc = ref 0.0 in
+  for i = 0 to List.length store - 1 do
+    acc := !acc +. List.nth store i
+  done;
+  !acc

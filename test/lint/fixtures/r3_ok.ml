@@ -1,0 +1,8 @@
+(* Must NOT trigger R3: random access through arrays, structural list
+   iteration, and one suppressed legacy access. *)
+
+let level (store : float array) i = store.(i)
+let total (store : float list) = List.fold_left ( +. ) 0.0 store
+
+let legacy_level (store : float list) i =
+  (List.nth store i [@ppdc.allow "R3"])

@@ -1,0 +1,6 @@
+(* Must trigger R4-domain-unsafe-global: top-level mutable state with
+   no [@@ppdc.domain_safe] contract (the Runner cache bug). *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+let scratch = Array.make 8 0.0

@@ -1,0 +1,15 @@
+(* Must NOT trigger R4: documented discipline, sanctioned concurrency
+   primitives, function-local mutability, and an explicit allow. *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+[@@ppdc.domain_safe "fixture: all access under an imaginary mutex"]
+
+let cache_mutex = Mutex.create ()
+let hits = Atomic.make 0
+
+(* Mutable state created inside a function never outlives the call. *)
+let local_sum n =
+  let buf = Array.make n 0.0 in
+  Array.fold_left ( +. ) 0.0 buf
+
+let legacy_counter = ref 0 [@@ppdc.allow "R4"]

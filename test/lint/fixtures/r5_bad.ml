@@ -1,0 +1,11 @@
+(* Must trigger R5-sentinel-escape: functions exported by the mli can
+   return nan / infinity / a negative-index array sentinel, and the mli
+   does not document it with [@@ppdc.sentinel] (the solve_n2 bug). *)
+
+let mean_rate = function
+  | [] -> nan
+  | rates -> List.fold_left ( +. ) 0.0 rates /. float_of_int (List.length rates)
+
+let best_pair feasible = if feasible then [| 0; 1 |] else [| -1; -1 |]
+
+let min_cost = function [] -> infinity | c :: _ -> c

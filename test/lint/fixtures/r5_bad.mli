@@ -1,0 +1,3 @@
+val mean_rate : float list -> float
+val best_pair : bool -> int array
+val min_cost : float list -> float

@@ -1,0 +1,16 @@
+(* Must NOT trigger R5: the sentinel contract is documented in the mli
+   with [@@ppdc.sentinel], the helper is not exported, the raise-instead
+   variant returns no sentinel, and one site is explicitly allowed. *)
+
+let mean_rate = function
+  | [] -> nan
+  | rates -> List.fold_left ( +. ) 0.0 rates /. float_of_int (List.length rates)
+
+(* Not exported by the mli: internal sentinels are the caller's business. *)
+let unexported_default () = infinity
+
+let min_cost = function
+  | [] -> invalid_arg "R5_ok.min_cost: empty"
+  | c :: _ -> c +. unexported_default () *. 0.0
+
+let fallback_rate empty = if empty then (nan [@ppdc.allow "R5"]) else 0.0

@@ -1,0 +1,5 @@
+val mean_rate : float list -> float
+[@@ppdc.sentinel "returns nan on an empty rate list"]
+
+val min_cost : float list -> float
+val fallback_rate : bool -> float

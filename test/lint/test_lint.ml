@@ -1,0 +1,181 @@
+(* ppdc-lint fixture tests: run the analysis over the fixture corpus's
+   .cmt trees and assert each rule R1–R5 fires on its must-trigger
+   module and stays silent on its must-not-trigger (including
+   [@ppdc.allow]-suppressed) twin. Also smoke-tests the CLI binary:
+   output shape and the non-zero exit code the CI gate relies on. *)
+
+module L = Ppdc_lint_core.Lint_core
+
+(* cwd under `dune runtest` is _build/default/test/lint; the fixture
+   library's typed trees live in its .objs/byte dir. *)
+let fixtures_dir = "fixtures/.ppdc_lint_fixtures.objs/byte"
+
+let findings =
+  (* lib_prefixes [""]: treat the fixtures as library code so the
+     lib-gated rules R3/R4 apply. *)
+  lazy (L.scan ~lib_prefixes:[ "" ] [ fixtures_dir ])
+
+let in_file name =
+  List.filter
+    (fun (f : L.finding) -> String.equal (Filename.basename f.file) name)
+    (Lazy.force findings)
+
+let test_corpus_present () =
+  let ok =
+    Sys.file_exists fixtures_dir
+    && Array.exists
+         (fun f -> Filename.check_suffix f ".cmt")
+         (Sys.readdir fixtures_dir)
+  in
+  Alcotest.(check bool) "fixture .cmt corpus built" true ok
+
+let test_triggers name rule () =
+  let fs = in_file name in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s raises at least one %s" name rule)
+    true
+    (List.exists (fun (f : L.finding) -> String.equal f.rule rule) fs);
+  List.iter
+    (fun (f : L.finding) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s only raises %s (got %s at line %d)" name rule
+           f.rule f.line)
+        rule f.rule)
+    fs
+
+let test_clean name () =
+  let fs = in_file name in
+  Alcotest.(check int)
+    (Printf.sprintf "%s is clean, got: %s" name
+       (String.concat " | " (List.map L.to_string fs)))
+    0 (List.length fs)
+
+let test_trigger_counts () =
+  (* Pin the exact shape of the must-trigger corpus so a silently
+     weakened rule cannot pass by firing once out of many sites. *)
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s finding count" name)
+        expected
+        (List.length (in_file name)))
+    [
+      ("r1_bad.ml", 4);
+      ("r2_bad.ml", 2);
+      ("r3_bad.ml", 2);
+      ("r4_bad.ml", 3);
+      ("r5_bad.ml", 3);
+    ]
+
+let test_to_string () =
+  match in_file "r1_bad.ml" with
+  | [] -> Alcotest.fail "expected at least one r1_bad finding"
+  | f :: _ ->
+      let s = L.to_string f in
+      Alcotest.(check bool)
+        (Printf.sprintf "finding renders as file:line:col [rule] msg: %s" s)
+        true
+        (String.length s > 0
+        && Filename.basename f.file = "r1_bad.ml"
+        && f.line > 0
+        &&
+        let marker = Printf.sprintf ":%d:%d [R1-poly-compare] " f.line f.col in
+        let rec contains i =
+          if i + String.length marker > String.length s then false
+          else if String.equal (String.sub s i (String.length marker)) marker
+          then true
+          else contains (i + 1)
+        in
+        contains 0)
+
+let test_cli () =
+  let exe = "../../tools/lint/ppdc_lint.exe" in
+  Alcotest.(check bool) "ppdc-lint binary built" true (Sys.file_exists exe);
+  let out = Filename.temp_file "ppdc_lint_test" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s -q --lib-prefix '' %s > %s 2>/dev/null"
+         (Filename.quote exe) (Filename.quote fixtures_dir)
+         (Filename.quote out))
+  in
+  Alcotest.(check int) "exit code 1 when findings exist" 1 code;
+  let ic = open_in out in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove out;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "CLI prints one line per finding"
+    (List.length (Lazy.force findings))
+    (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding line mentions a rule tag: %s" line)
+        true
+        (List.exists
+           (fun (id, slug) ->
+             let tag = Printf.sprintf "[%s-%s]" id slug in
+             let rec contains i =
+               if i + String.length tag > String.length line then false
+               else if
+                 String.equal (String.sub line i (String.length tag)) tag
+               then true
+               else contains (i + 1)
+             in
+             contains 0)
+           L.rule_slugs))
+    lines;
+  (* And the gate direction: an empty corpus exits 0. *)
+  let empty = Filename.temp_file "ppdc_lint_empty" ".d" in
+  Sys.remove empty;
+  Sys.mkdir empty 0o755;
+  let code_clean =
+    Sys.command
+      (Printf.sprintf "%s -q %s > /dev/null 2>&1" (Filename.quote exe)
+         (Filename.quote empty))
+  in
+  Sys.rmdir empty;
+  Alcotest.(check int) "exit code 0 when clean" 0 code_clean
+
+let () =
+  Alcotest.run "ppdc-lint"
+    [
+      ("corpus", [ Alcotest.test_case "cmt corpus present" `Quick
+                     test_corpus_present ]);
+      ( "must-trigger",
+        [
+          Alcotest.test_case "R1 poly-compare" `Quick
+            (test_triggers "r1_bad.ml" "R1");
+          Alcotest.test_case "R2 float-equality" `Quick
+            (test_triggers "r2_bad.ml" "R2");
+          Alcotest.test_case "R3 quadratic-list" `Quick
+            (test_triggers "r3_bad.ml" "R3");
+          Alcotest.test_case "R4 domain-unsafe-global" `Quick
+            (test_triggers "r4_bad.ml" "R4");
+          Alcotest.test_case "R5 sentinel-escape" `Quick
+            (test_triggers "r5_bad.ml" "R5");
+          Alcotest.test_case "exact counts" `Quick test_trigger_counts;
+        ] );
+      ( "must-not-trigger",
+        [
+          Alcotest.test_case "R1 fixed + suppressed" `Quick
+            (test_clean "r1_ok.ml");
+          Alcotest.test_case "R2 fixed + suppressed" `Quick
+            (test_clean "r2_ok.ml");
+          Alcotest.test_case "R3 fixed + suppressed" `Quick
+            (test_clean "r3_ok.ml");
+          Alcotest.test_case "R4 annotated + suppressed" `Quick
+            (test_clean "r4_ok.ml");
+          Alcotest.test_case "R5 documented + suppressed" `Quick
+            (test_clean "r5_ok.ml");
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "rendering" `Quick test_to_string;
+          Alcotest.test_case "exit codes and output" `Quick test_cli;
+        ] );
+    ]

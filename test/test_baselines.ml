@@ -202,6 +202,17 @@ let test_no_migration () =
     (Cost.comm_cost problem ~rates placement)
     out.total_cost
 
+let test_plan_nan_rate_rejected () =
+  (* Regression for the poly-compare hazard (ppdc-lint R1): a NaN rate
+     used to produce NaN utilities that the old polymorphic descending
+     sort ordered arbitrarily, silently reordering the whole candidate
+     list. Plan now fails loudly instead. *)
+  let problem, placement, rates = plan_setup ~seed:8 in
+  rates.(0) <- Float.nan;
+  Alcotest.check_raises "NaN rate rejected"
+    (Invalid_argument "Plan.migrate: NaN rate for flow 0") (fun () ->
+      ignore (Plan.migrate problem ~rates ~mu_vm:1.0 ~placement ()))
+
 let test_vnf_migration_beats_vm_migration_here () =
   (* The paper's central comparison: on average, mPareto (VNF moves)
      outperforms PLAN and MCF (VM moves) under rate churn. *)
@@ -251,6 +262,8 @@ let () =
           Alcotest.test_case "huge mu freezes VMs" `Quick
             test_plan_huge_mu_no_moves;
           Alcotest.test_case "max_moves bound" `Quick test_plan_max_moves;
+          Alcotest.test_case "NaN rate rejected (poly-compare regression)"
+            `Quick test_plan_nan_rate_rejected;
           Alcotest.test_case "cost decomposition" `Quick
             test_plan_cost_decomposition;
         ] );

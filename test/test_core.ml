@@ -391,6 +391,15 @@ let test_link_load_structure () =
   Alcotest.(check bool) "max >= mean" true
     (Link_load.max_load loads >= Link_load.mean_load loads)
 
+let test_link_load_nan_rate_rejected () =
+  (* Regression for the poly-compare hazard (ppdc-lint R1): a NaN rate
+     used to flow into the load table and let [hottest]'s old
+     polymorphic sort rank the poisoned edge arbitrarily. *)
+  let problem = fig3 () in
+  Alcotest.check_raises "NaN rate rejected"
+    (Invalid_argument "Link_load.compute: NaN rate for flow 1") (fun () ->
+      ignore (Link_load.compute problem ~rates:[| 100.0; Float.nan |] [| 0; 1 |]))
+
 let test_link_load_edgeless_mean_is_zero () =
   (* Regression: 0 total / 0 edges used to evaluate to NaN. *)
   let g = Ppdc_topology.Graph.make ~kinds:[| Ppdc_topology.Graph.Switch |] ~edges:[] in
@@ -477,6 +486,8 @@ let () =
             test_link_load_structure;
           Alcotest.test_case "edgeless mean load is zero" `Quick
             test_link_load_edgeless_mean_is_zero;
+          Alcotest.test_case "NaN rate rejected (poly-compare regression)"
+            `Quick test_link_load_nan_rate_rejected;
         ] );
       ( "cost-model",
         [

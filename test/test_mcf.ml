@@ -224,7 +224,7 @@ let prop_flow_conservation =
       in
       Float.abs (recomputed -. r.cost) < 1e-6)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
   Alcotest.run "ppdc_mcf"

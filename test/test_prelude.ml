@@ -353,7 +353,7 @@ let test_table_csv_quotes () =
     (String.split_on_char '\n' csv
     |> List.exists (fun l -> l = "\"pla\"\"in\""))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
   Alcotest.run "ppdc_prelude"

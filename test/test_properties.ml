@@ -338,7 +338,7 @@ let prop_replication_never_hurts =
         !ok
       end)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
   Alcotest.run "ppdc_properties"

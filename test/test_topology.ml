@@ -317,7 +317,7 @@ let test_dot_export () =
   Alcotest.(check bool) "five edges" true
     (List.length (String.split_on_char '-' dot) > 5)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
   Alcotest.run "ppdc_topology"

@@ -351,7 +351,7 @@ let prop_tau_bounded =
       let t = Diurnal.tau m h in
       t >= 0.0 && t <= 1.0)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
   Alcotest.run "ppdc_traffic"

@@ -1,0 +1,514 @@
+(* ppdc-lint: project-specific static analysis over dune's [.cmt] typed
+   trees (read with [Cmt_format.read_cmt], walked with [Tast_iterator]).
+   Rules are type-aware — R1 fires on [compare] *instantiated at float*,
+   not on the token "compare" — because every rule here encodes a bug
+   this repo actually shipped and later fixed by hand:
+
+   R1 poly-compare        — [Stats.percentile] sorted floats with the
+                            polymorphic [compare]; NaN silently reorders.
+   R2 float-equality      — [=]/[<>] at type float is NaN-unsound.
+   R3 quadratic-list      — [List.nth] in lib/ (the [Stroll_dp] level
+                            store was accidentally quadratic).
+   R4 domain-unsafe-global— top-level mutable state in libraries linked
+                            into parallel sections (the [Runner] cache).
+   R5 sentinel-escape     — exported functions that can return
+                            nan/infinity/negative-index sentinels without
+                            the mli documenting it (the [solve_n2] bug).
+
+   Suppression: [@ppdc.allow "R1"] on an expression or binding,
+   [@@@ppdc.allow "R4"] for a whole file, [@@ppdc.domain_safe "reason"]
+   to document the concurrency discipline of a global (R4), and
+   [@@ppdc.sentinel "reason"] on the mli val to document a sentinel
+   contract (R5). *)
+
+open Typedtree
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (* "R1" .. "R5" *)
+  slug : string;  (* "poly-compare" .. *)
+  msg : string;
+}
+
+let rule_slugs =
+  [
+    ("R1", "poly-compare");
+    ("R2", "float-equality");
+    ("R3", "quadratic-list");
+    ("R4", "domain-unsafe-global");
+    ("R5", "sentinel-escape");
+  ]
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s-%s] %s" f.file f.line f.col f.rule f.slug f.msg
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+(* --- attribute helpers ------------------------------------------------- *)
+
+(* Payload of [@ppdc.allow "R1 R3"] / [@@ppdc.domain_safe "reason"]:
+   every string constant in the payload, split on spaces and commas. *)
+let attr_tokens (attr : Parsetree.attribute) =
+  let consts =
+    match attr.attr_payload with
+    | PStr items ->
+        List.concat_map
+          (fun (it : Parsetree.structure_item) ->
+            match it.pstr_desc with
+            | Pstr_eval (e, _) ->
+                let rec consts (e : Parsetree.expression) =
+                  match e.pexp_desc with
+                  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+                  | Pexp_tuple es -> List.concat_map consts es
+                  | Pexp_apply (f, args) ->
+                      consts f
+                      @ List.concat_map (fun (_, a) -> consts a) args
+                  | _ -> []
+                in
+                consts e
+            | _ -> [])
+          items
+    | _ -> []
+  in
+  consts
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun s -> s <> "")
+
+let attrs_named name (attrs : Parsetree.attributes) =
+  List.filter
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+let has_attr name attrs = attrs_named name attrs <> []
+
+let allow_tokens attrs =
+  List.concat_map attr_tokens (attrs_named "ppdc.allow" attrs)
+
+(* A token suppresses a rule if it is the id ("R1", any case), the slug
+   ("poly-compare"), or the printed form ("R1-poly-compare"). *)
+let token_matches token (id, slug) =
+  let t = String.lowercase_ascii token in
+  let id = String.lowercase_ascii id in
+  String.equal t id || String.equal t slug || String.equal t (id ^ "-" ^ slug)
+
+(* --- per-file context --------------------------------------------------- *)
+
+type ctx = {
+  src : string;
+  is_lib : bool;  (* R3/R4 apply only inside library code *)
+  mutable active_allows : string list;
+  mutable findings : finding list;
+  exported : (string, bool) Hashtbl.t option;
+      (* from the sibling .cmti: name -> documented with [@@ppdc.sentinel] *)
+}
+
+let suppressed ctx id =
+  let slug = List.assoc id rule_slugs in
+  List.exists (fun tok -> token_matches tok (id, slug)) ctx.active_allows
+
+let report ctx (loc : Location.t) id msg =
+  if (not (suppressed ctx id)) && not loc.loc_ghost then begin
+    let p = loc.loc_start in
+    let f =
+      {
+        file = ctx.src;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        rule = id;
+        slug = List.assoc id rule_slugs;
+        msg;
+      }
+    in
+    ctx.findings <- f :: ctx.findings
+  end
+
+let with_allows ctx tokens f =
+  if tokens = [] then f ()
+  else begin
+    let saved = ctx.active_allows in
+    ctx.active_allows <- tokens @ saved;
+    Fun.protect ~finally:(fun () -> ctx.active_allows <- saved) f
+  end
+
+(* --- type predicates ---------------------------------------------------- *)
+
+(* Structural check only: we do not re-create a typing [Env.t], so an
+   abbreviation like [type rate = float] is seen as its own constructor
+   and we descend into its (empty) argument list. In practice dune
+   projects alias little and the instantiated types in .cmt files are
+   already expanded at most use sites. *)
+let rec type_contains_float ty =
+  match Types.get_desc ty with
+  | Tconstr (p, args, _) ->
+      Path.same p Predef.path_float || List.exists type_contains_float args
+  | Ttuple ts -> List.exists type_contains_float ts
+  | Tpoly (t, _) -> type_contains_float t
+  | _ -> false
+
+let is_float ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> Path.same p Predef.path_float
+  | _ -> false
+
+let first_arg ty =
+  match Types.get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
+
+(* --- path normalization ------------------------------------------------- *)
+
+let strip_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    String.sub s (String.length prefix) (String.length s - String.length prefix)
+  else s
+
+(* "Stdlib.List.nth" / "Stdlib__List.nth" / "List.nth" -> "List.nth". *)
+let norm_path p =
+  Path.name p
+  |> strip_prefix ~prefix:"Stdlib!."
+  |> strip_prefix ~prefix:"Stdlib."
+  |> strip_prefix ~prefix:"Stdlib__"
+
+let mem_s x l = List.exists (String.equal x) l
+
+(* --- R1/R2/R3: occurrence-based rules ----------------------------------- *)
+
+(* Identifiers whose semantics depend on the polymorphic structural
+   order/equality. Checking the *occurrence* (its instantiated type)
+   rather than the application means [List.sort compare] and
+   [Array.sort compare] are caught through the same code path. *)
+let poly_order = [ "compare"; "min"; "max" ]
+let poly_eq = [ "="; "<>" ]
+
+let structural_containers =
+  [
+    "List.mem";
+    "List.assoc";
+    "List.assoc_opt";
+    "List.mem_assoc";
+    "List.remove_assoc";
+    "ListLabels.mem";
+    "ListLabels.assoc";
+    "Array.mem";
+    "ArrayLabels.mem";
+  ]
+
+let check_expr ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      let n = norm_path p in
+      if String.equal n "List.nth" && ctx.is_lib then
+        report ctx e.exp_loc "R3"
+          "List.nth is O(n) per access (quadratic in loops); use an array, \
+           a growable buffer, or iterate the list structurally";
+      match first_arg e.exp_type with
+      | None -> ()
+      | Some a ->
+          if mem_s n poly_eq then begin
+            if is_float a then
+              report ctx e.exp_loc "R2"
+                (Printf.sprintf
+                   "( %s ) at type float is NaN-unsound; use Float.equal / \
+                    Float.compare or an explicit epsilon test"
+                   n)
+            else if type_contains_float a then
+              report ctx e.exp_loc "R1"
+                (Printf.sprintf
+                   "polymorphic ( %s ) instantiated at a type containing \
+                    float; compare components with Float.equal explicitly"
+                   n)
+          end
+          else if mem_s n poly_order && type_contains_float a then
+            report ctx e.exp_loc "R1"
+              (Printf.sprintf
+                 "polymorphic %s instantiated at a type containing float \
+                  (NaN breaks the structural order); use Float.compare / \
+                  Float.min / Float.max or a keyed comparator"
+                 n)
+          else if mem_s n structural_containers && type_contains_float a then
+            report ctx e.exp_loc "R1"
+              (Printf.sprintf
+                 "%s uses structural equality on a type containing float \
+                  (NaN never matches itself); use an explicit predicate \
+                  (List.exists / List.find_opt with Float.equal)"
+                 n))
+  | _ -> ()
+
+(* --- R4: top-level mutable state in libraries --------------------------- *)
+
+let mutable_containers =
+  [ "Hashtbl.t"; "ref"; "Queue.t"; "Stack.t"; "Buffer.t"; "Weak.t" ]
+
+(* Sanctioned concurrency primitives: holding state in these *is* the
+   documented discipline, so they do not trip R4 by themselves. *)
+let safe_containers =
+  [
+    "Atomic.t";
+    "Mutex.t";
+    "Condition.t";
+    "Semaphore.Counting.t";
+    "Semaphore.Binary.t";
+    "Domain.DLS.key";
+    "Lazy.t";
+  ]
+
+let rec type_mutable ty =
+  match Types.get_desc ty with
+  | Tconstr (p, args, _) ->
+      let n = norm_path p in
+      if mem_s n safe_containers then false
+      else if
+        mem_s n mutable_containers
+        || Path.same p Predef.path_array
+        || Path.same p Predef.path_bytes
+      then true
+      else List.exists type_mutable args
+  | Ttuple ts -> List.exists type_mutable ts
+  | _ -> false
+
+let binding_name (vb : value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (_, l) -> Some l.txt
+  (* [let x : t = e] typechecks as an alias pattern under a constraint. *)
+  | Tpat_alias (_, _, l) -> Some l.txt
+  | _ -> None
+
+let check_global ctx (vb : value_binding) =
+  if ctx.is_lib then
+    match Types.get_desc vb.vb_expr.exp_type with
+    | Tarrow _ -> ()
+    | _ ->
+        if
+          type_mutable vb.vb_expr.exp_type
+          && not (has_attr "ppdc.domain_safe" vb.vb_attributes)
+        then
+          with_allows ctx (allow_tokens vb.vb_attributes) (fun () ->
+              let name = Option.value (binding_name vb) ~default:"_" in
+              report ctx vb.vb_loc "R4"
+                (Printf.sprintf
+                   "top-level mutable state `%s` is shared across domains \
+                    once this library runs under Parallel; guard it \
+                    (Mutex/Atomic/DLS) and annotate the binding with \
+                    [@@ppdc.domain_safe \"reason\"]"
+                   name))
+
+(* --- R5: sentinel values escaping an exported function ------------------ *)
+
+let sentinel_idents =
+  [
+    "nan";
+    "infinity";
+    "neg_infinity";
+    "Float.nan";
+    "Float.infinity";
+    "Float.neg_infinity";
+  ]
+
+(* Expressions in tail (return) position of a function body, looking
+   through the control-flow constructs that merely select a result. *)
+let rec tail_exprs (e : expression) acc =
+  match e.exp_desc with
+  | Texp_function { cases; _ } ->
+      List.fold_left (fun acc c -> tail_exprs c.c_rhs acc) acc cases
+  | Texp_let (_, _, b) | Texp_sequence (_, b) | Texp_open (_, b) ->
+      tail_exprs b acc
+  | Texp_ifthenelse (_, t, Some f) -> tail_exprs t (tail_exprs f acc)
+  | Texp_ifthenelse (_, t, None) -> tail_exprs t acc
+  | Texp_match (_, cases, _) ->
+      List.fold_left (fun acc c -> tail_exprs c.c_rhs acc) acc cases
+  | Texp_try (b, cases) ->
+      List.fold_left (fun acc c -> tail_exprs c.c_rhs acc) (tail_exprs b acc)
+        cases
+  | Texp_letop { body; _ } -> tail_exprs body.c_rhs acc
+  | _ -> e :: acc
+
+(* A returned value is "sentinel-y" if its construction skeleton
+   (records/tuples/constructors/arrays — not arbitrary sub-calls)
+   mentions nan/infinity or builds an array literal of negative indices
+   such as [|-1; -1|]. *)
+let rec sentinel_value (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> mem_s (norm_path p) sentinel_idents
+  | Texp_constant (Const_float s) -> (
+      match float_of_string_opt s with
+      | Some f -> Float.is_nan f || not (Float.is_finite f)
+      | None -> false)
+  | Texp_array els ->
+      List.exists
+        (fun (el : expression) ->
+          sentinel_value el
+          ||
+          match el.exp_desc with
+          | Texp_constant (Const_int n) -> n < 0
+          | _ -> false)
+        els
+  | Texp_tuple es -> List.exists sentinel_value es
+  | Texp_construct (_, _, es) -> List.exists sentinel_value es
+  | Texp_record { fields; _ } ->
+      Array.exists
+        (fun (_, def) ->
+          match def with
+          | Overridden (_, e) -> sentinel_value e
+          | Kept _ -> false)
+        fields
+  | Texp_apply (f, args) -> (
+      (* unary negation of a sentinel, e.g. [-. infinity] *)
+      match f.exp_desc with
+      | Texp_ident (p, _, _) when mem_s (norm_path p) [ "~-."; "~-" ] ->
+          List.exists
+            (fun (_, a) ->
+              match a with Some a -> sentinel_value a | None -> false)
+            args
+      | _ -> false)
+  | _ -> false
+
+let is_function (e : expression) =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+let check_r5 ctx (str : structure) =
+  match ctx.exported with
+  | None -> ()  (* no mli: nothing is an exported contract yet *)
+  | Some exported ->
+      List.iter
+        (fun (it : structure_item) ->
+          match it.str_desc with
+          | Tstr_value (_, vbs) ->
+              List.iter
+                (fun vb ->
+                  match binding_name vb with
+                  | Some name
+                    when Hashtbl.mem exported name
+                         && (not (Hashtbl.find exported name))
+                         && is_function vb.vb_expr ->
+                      with_allows ctx (allow_tokens vb.vb_attributes)
+                        (fun () ->
+                          List.iter
+                            (fun (t : expression) ->
+                              if sentinel_value t then
+                                with_allows ctx (allow_tokens t.exp_attributes)
+                                  (fun () ->
+                                    report ctx t.exp_loc "R5"
+                                      (Printf.sprintf
+                                         "exported `%s` can return a \
+                                          sentinel (nan/infinity/negative \
+                                          index) that callers must know \
+                                          about; document the contract in \
+                                          the mli with [@@ppdc.sentinel \
+                                          \"reason\"] or raise instead"
+                                         name)))
+                            (tail_exprs vb.vb_expr []))
+                  | _ -> ())
+                vbs
+          | _ -> ())
+        str.str_items
+
+(* --- the iterator ------------------------------------------------------- *)
+
+let iterator ctx =
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : expression) =
+    with_allows ctx (allow_tokens e.exp_attributes) (fun () ->
+        check_expr ctx e;
+        super.expr it e)
+  in
+  let value_binding it (vb : value_binding) =
+    with_allows ctx (allow_tokens vb.vb_attributes) (fun () ->
+        super.value_binding it vb)
+  in
+  let structure_item it (si : structure_item) =
+    (* R4 looks at structure items so it sees module top levels (incl.
+       nested modules) but not lets inside function bodies. *)
+    (match si.str_desc with
+    | Tstr_value (_, vbs) -> List.iter (check_global ctx) vbs
+    | _ -> ());
+    super.structure_item it si
+  in
+  { super with expr; value_binding; structure_item }
+
+(* --- cmt/cmti plumbing -------------------------------------------------- *)
+
+let exported_of_cmti cmti_path =
+  match (Cmt_format.read_cmt cmti_path).cmt_annots with
+  | Interface sg ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (si : signature_item) ->
+          match si.sig_desc with
+          | Tsig_value vd ->
+              Hashtbl.replace tbl vd.val_name.txt
+                (has_attr "ppdc.sentinel" vd.val_attributes)
+          | _ -> ())
+        sg.sig_items;
+      Some tbl
+  | _ | (exception _) -> None
+
+(* File-wide suppressions: floating [@@@ppdc.allow "R4"] attributes. *)
+let file_allows (str : structure) =
+  List.concat_map
+    (fun (it : structure_item) ->
+      match it.str_desc with
+      | Tstr_attribute a when String.equal a.attr_name.txt "ppdc.allow" ->
+          attr_tokens a
+      | _ -> [])
+    str.str_items
+
+let analyze_cmt ?(lib_prefixes = [ "lib/" ]) cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception _ -> []
+  | info -> (
+      match (info.cmt_annots, info.cmt_sourcefile) with
+      | Implementation str, Some src when Filename.check_suffix src ".ml" ->
+          let is_lib =
+            List.exists
+              (fun p -> String.equal p "" || String.starts_with ~prefix:p src)
+              lib_prefixes
+          in
+          let exported =
+            let cmti = Filename.remove_extension cmt_path ^ ".cmti" in
+            if Sys.file_exists cmti then exported_of_cmti cmti else None
+          in
+          let ctx =
+            {
+              src;
+              is_lib;
+              active_allows = file_allows str;
+              findings = [];
+              exported;
+            }
+          in
+          check_r5 ctx str;
+          let it = iterator ctx in
+          it.structure it str;
+          List.sort_uniq compare_findings ctx.findings
+      | _ -> [])
+
+let rec collect_cmts dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then collect_cmts path acc
+          else if Filename.check_suffix path ".cmt" then path :: acc
+          else acc)
+        acc entries
+
+let scan ?lib_prefixes roots =
+  List.concat_map
+    (fun root ->
+      collect_cmts root []
+      |> List.sort String.compare
+      |> List.concat_map (analyze_cmt ?lib_prefixes))
+    roots
+  |> List.sort_uniq compare_findings

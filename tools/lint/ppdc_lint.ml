@@ -1,0 +1,80 @@
+(* ppdc-lint CLI: map source dirs to their _build/default cmt trees,
+   run the rules, print findings as file:line:col [rule] message, exit
+   non-zero when anything fires. Run after `dune build` (the typed
+   trees are a build by-product). *)
+
+module Lint_core = Ppdc_lint_core.Lint_core
+
+let usage =
+  "ppdc-lint [OPTIONS] [DIR...]\n\
+   Type-aware lint over dune's .cmt trees. DIRs default to `lib bin \
+   bench`;\n\
+   each is resolved against _build/default first, then taken verbatim \
+   (so a\n\
+   path that already contains .cmt files works too).\n\n\
+   Rules:\n\
+  \  R1-poly-compare        polymorphic compare/min/max/mem at float\n\
+  \  R2-float-equality      =/<> at type float (NaN-unsound)\n\
+  \  R3-quadratic-list      List.nth inside lib/\n\
+  \  R4-domain-unsafe-global top-level mutable state in libraries\n\
+  \  R5-sentinel-escape     exported fn returns nan/infinity/[-1] \
+   sentinel\n\n\
+   Suppression: [@ppdc.allow \"R1\"] on the expression/binding,\n\
+  \  [@@ppdc.domain_safe \"reason\"] (R4), [@@ppdc.sentinel \"reason\"] \
+   in the mli (R5).\n\n\
+   Options:\n\
+  \  --lib-prefix P   treat sources under P as library code for R3/R4\n\
+  \                   (repeatable; default `lib/`; `''` means all)\n\
+  \  -q               print only the findings, no summary\n"
+
+let () =
+  let dirs = ref [] in
+  let lib_prefixes = ref [] in
+  let quiet = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-help" :: _ ->
+        print_string usage;
+        exit 0
+    | "-q" :: rest ->
+        quiet := true;
+        parse rest
+    | "--lib-prefix" :: p :: rest ->
+        lib_prefixes := p :: !lib_prefixes;
+        parse rest
+    | "--lib-prefix" :: [] ->
+        prerr_endline "ppdc-lint: --lib-prefix expects an argument";
+        exit 2
+    | d :: rest ->
+        dirs := d :: !dirs;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let dirs =
+    match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
+  in
+  let resolve d =
+    let in_build = Filename.concat "_build/default" d in
+    if Sys.file_exists in_build then in_build else d
+  in
+  let missing = List.filter (fun d -> not (Sys.file_exists (resolve d))) dirs in
+  if missing <> [] then begin
+    Printf.eprintf
+      "ppdc-lint: no such directory: %s (run `dune build` first?)\n"
+      (String.concat ", " missing);
+    exit 2
+  end;
+  let lib_prefixes =
+    match List.rev !lib_prefixes with [] -> None | ps -> Some ps
+  in
+  let findings = Lint_core.scan ?lib_prefixes (List.map resolve dirs) in
+  List.iter (fun f -> print_endline (Lint_core.to_string f)) findings;
+  match findings with
+  | [] ->
+      if not !quiet then
+        Printf.eprintf "ppdc-lint: clean (%s)\n" (String.concat " " dirs);
+      exit 0
+  | fs ->
+      if not !quiet then
+        Printf.eprintf "ppdc-lint: %d finding(s)\n" (List.length fs);
+      exit 1
