@@ -8,12 +8,15 @@
      trace       generate a diurnal workload trace as CSV
      ilp         export the TOP/TOM MIP in CPLEX-LP format
      experiment  regenerate one of the paper's tables/figures
-     list        list available experiments *)
+     list        list available experiments
+     serve       run the placement/migration RPC daemon (ppdc.rpc/1)
+     rpc         send requests to a running ppdc serve daemon *)
 
 open Cmdliner
 module Table = Ppdc_prelude.Table
 module Rng = Ppdc_prelude.Rng
 module Obs = Ppdc_prelude.Obs
+module Json = Ppdc_prelude.Json
 module Graph = Ppdc_topology.Graph
 module Cost_matrix = Ppdc_topology.Cost_matrix
 module Flow = Ppdc_traffic.Flow
@@ -440,7 +443,7 @@ let metrics_summary_cmd =
             let line = input_line ic in
             incr lineno;
             if String.trim line <> "" then
-              match Obs.Json.parse line with
+              match Json.parse line with
               | json -> records := json :: !records
               | exception Failure msg ->
                   Printf.eprintf "%s:%d: %s\n" path !lineno msg;
@@ -455,17 +458,17 @@ let metrics_summary_cmd =
       exit 1
     end;
     let records = read_records path in
-    let str_of = function Some (Obs.Json.Str s) -> s | _ -> "" in
-    let num_of = function Some (Obs.Json.Num n) -> n | _ -> Float.nan in
+    let str_of = function Some (Json.Str s) -> s | _ -> "" in
+    let num_of = function Some (Json.Num n) -> n | _ -> Float.nan in
     let of_type ty =
-      List.filter (fun r -> str_of (Obs.Json.member "type" r) = ty) records
+      List.filter (fun r -> str_of (Json.member "type" r) = ty) records
     in
     let seconds v = Printf.sprintf "%.6f" v in
     (match of_type "meta" with
     | m :: _ ->
         Printf.printf "schema %s, %d domain shard(s), %d record(s)\n"
-          (str_of (Obs.Json.member "schema" m))
-          (int_of_float (num_of (Obs.Json.member "domains" m)))
+          (str_of (Json.member "schema" m))
+          (int_of_float (num_of (Json.member "domains" m)))
           (List.length records)
     | [] -> Printf.printf "%d record(s), no meta line\n" (List.length records));
     let counters = of_type "counter" in
@@ -475,8 +478,8 @@ let metrics_summary_cmd =
         (fun c ->
           Table.add_row t
             [
-              str_of (Obs.Json.member "name" c);
-              Printf.sprintf "%.0f" (num_of (Obs.Json.member "value" c));
+              str_of (Json.member "name" c);
+              Printf.sprintf "%.0f" (num_of (Json.member "value" c));
             ])
         counters;
       Table.print t
@@ -489,11 +492,11 @@ let metrics_summary_cmd =
         in
         List.iter
           (fun s ->
-            let field name = num_of (Obs.Json.member (name ^ unit_suffix) s) in
+            let field name = num_of (Json.member (name ^ unit_suffix) s) in
             Table.add_row t
               [
-                str_of (Obs.Json.member "name" s);
-                Printf.sprintf "%.0f" (num_of (Obs.Json.member "count" s));
+                str_of (Json.member "name" s);
+                Printf.sprintf "%.0f" (num_of (Json.member "count" s));
                 seconds (field "total");
                 seconds (field "mean");
                 seconds (field "p50");
@@ -511,7 +514,7 @@ let metrics_summary_cmd =
       let tally = Hashtbl.create 8 in
       List.iter
         (fun e ->
-          let name = str_of (Obs.Json.member "name" e) in
+          let name = str_of (Json.member "name" e) in
           Hashtbl.replace tally name
             (1 + Option.value ~default:0 (Hashtbl.find_opt tally name)))
         events;
@@ -542,6 +545,107 @@ let list_cmd =
   let doc = "List the available experiments." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+(* --- serve / rpc ------------------------------------------------------------ *)
+
+let max_line_arg =
+  let doc =
+    "Longest accepted request line in bytes; longer lines are drained \
+     and answered with a line_too_long error."
+  in
+  Arg.(
+    value
+    & opt int Ppdc_server.Transport.default_max_line
+    & info [ "max-line" ] ~docv:"BYTES" ~doc)
+
+let serve_cmd =
+  let run j socket stdio cache_capacity max_line metrics =
+    apply_domains j;
+    with_metrics metrics @@ fun () ->
+    let engine = Ppdc_server.Engine.create ~cache_capacity () in
+    match (stdio, socket) with
+    | true, _ -> Ppdc_server.Transport.serve_stdio ~max_line engine
+    | false, Some path ->
+        Printf.eprintf "ppdc: serving ppdc.rpc/1 on %s\n%!" path;
+        Ppdc_server.Transport.serve_unix ~max_line ~path engine;
+        Printf.eprintf "ppdc: shutdown complete\n%!"
+    | false, None ->
+        Printf.eprintf "ppdc serve: pass --socket PATH or --stdio\n";
+        exit 2
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let stdio_arg =
+    let doc =
+      "Serve a single connection on stdin/stdout instead of a socket \
+       (tests, CI, and inetd-style supervisors)."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Capacity of the cost-matrix LRU cache (entries are Θ(|V|²) \
+       floats, ≈30 MB for k=16; keyed by structural topology digest)."
+    in
+    Arg.(value & opt int 8 & info [ "cache" ] ~docv:"ENTRIES" ~doc)
+  in
+  let doc =
+    "Run the long-lived placement/migration daemon (ppdc.rpc/1 over \
+     NDJSON)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ domains_arg $ socket_arg $ stdio_arg $ cache_arg
+      $ max_line_arg $ metrics_arg)
+
+let rpc_cmd =
+  let run socket requests =
+    let requests =
+      match requests with
+      | [] ->
+          (* Read request lines from stdin. *)
+          let acc = ref [] in
+          (try
+             while true do
+               let line = input_line Stdlib.stdin in
+               if String.trim line <> "" then acc := line :: !acc
+             done
+           with End_of_file -> ());
+          List.rev !acc
+      | rs -> rs
+    in
+    (* Fill in sequential ids for requests that lack one; anything
+       unparseable is sent as-is so the server's parse_error answer
+       comes back to the user. *)
+    let prepare i req =
+      match Json.parse req with
+      | Obj fields when not (List.mem_assoc "id" fields) ->
+          Json.to_string (Json.Obj (("id", Json.Num (float_of_int (i + 1))) :: fields))
+      | _ | (exception Failure _) -> req
+    in
+    let responses =
+      Ppdc_server.Transport.call ~path:socket (List.mapi prepare requests)
+    in
+    List.iter print_endline responses
+  in
+  let socket_arg =
+    let doc = "Socket path of the running $(b,ppdc serve) daemon." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let requests_arg =
+    let doc =
+      "Requests to send, one JSON object each (reads NDJSON from stdin \
+       when omitted). An \"id\" field is added when missing."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  let doc = "Send ppdc.rpc/1 requests to a running daemon and print the responses." in
+  Cmd.v (Cmd.info "rpc" ~doc) Term.(const run $ socket_arg $ requests_arg)
+
 let () =
   let doc = "traffic-optimal VNF placement and migration in dynamic PPDCs" in
   let info = Cmd.info "ppdc" ~version:"1.0.0" ~doc in
@@ -551,4 +655,5 @@ let () =
           [
             topology_cmd; place_cmd; migrate_cmd; simulate_cmd; trace_cmd;
             ilp_cmd; experiment_cmd; metrics_summary_cmd; list_cmd;
+            serve_cmd; rpc_cmd;
           ]))

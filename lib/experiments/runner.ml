@@ -7,12 +7,18 @@ open Ppdc_core
 
 (* The unweighted fat-tree and its all-pairs matrix depend only on k;
    cache them across trials (the k=16 matrix costs ~45M operations and
-   30 MB, and Fig. 11 uses it hundreds of times). Trials may run on
-   several domains, so the cache is mutex-protected; the build happens
-   under the lock on purpose — concurrent misses for the same k should
-   wait for one build rather than redo it. *)
-let unweighted_cache : (int, Fat_tree.t * Cost_matrix.t) Hashtbl.t =
-  Hashtbl.create 4
+   30 MB, and Fig. 11 uses it hundreds of times). The cache is an LRU
+   bounded at [cost_matrix_cache_capacity] entries — an experiment
+   sweeping many fabric sizes no longer accumulates one 30 MB matrix
+   per k forever; any single experiment touches at most two or three
+   ks, so trials still hit. Trials may run on several domains, so the
+   cache is mutex-protected; the build happens under the lock on
+   purpose — concurrent misses for the same k should wait for one
+   build rather than redo it. *)
+let cost_matrix_cache_capacity = 4
+
+let unweighted_cache : (int, Fat_tree.t * Cost_matrix.t) Ppdc_prelude.Lru.t =
+  Ppdc_prelude.Lru.create ~capacity:cost_matrix_cache_capacity
 [@@ppdc.domain_safe
   "every lookup and insert happens inside unweighted_fat_tree under \
    unweighted_cache_mutex; the cached values are immutable after build"]
@@ -24,16 +30,25 @@ let unweighted_fat_tree k =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock unweighted_cache_mutex)
     (fun () ->
-      match Hashtbl.find_opt unweighted_cache k with
-      | Some pair ->
-          Ppdc_prelude.Obs.incr "runner.cost_matrix_cache_hits";
-          pair
-      | None ->
-          Ppdc_prelude.Obs.incr "runner.cost_matrix_cache_misses";
-          let ft = Fat_tree.build k in
-          let cm = Cost_matrix.compute ft.graph in
-          Hashtbl.add unweighted_cache k (ft, cm);
-          (ft, cm))
+      let hit, pair =
+        Ppdc_prelude.Lru.find_or_add unweighted_cache k (fun () ->
+            let ft = Fat_tree.build k in
+            (ft, Cost_matrix.compute ft.graph))
+      in
+      Ppdc_prelude.Obs.incr
+        (if hit then "runner.cost_matrix_cache_hits"
+         else "runner.cost_matrix_cache_misses");
+      pair)
+
+let cost_matrix_cache_stats () =
+  Mutex.lock unweighted_cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock unweighted_cache_mutex)
+    (fun () ->
+      Ppdc_prelude.Lru.
+        ( length unweighted_cache,
+          hits unweighted_cache,
+          misses unweighted_cache ))
 
 let fat_tree_problem ?(weighted = false) ?(rack_locality = 0.8) ~k ~l ~n ~seed
     () =

@@ -4,7 +4,18 @@ val unweighted_fat_tree :
   int -> Ppdc_topology.Fat_tree.t * Ppdc_topology.Cost_matrix.t
 (** Memoized unit-weight fat-tree and its all-pairs matrix for a given
     k (the k=16 matrix costs ~45M operations and 30 MB to build, and the
-    dynamic experiments reuse it hundreds of times). *)
+    dynamic experiments reuse it hundreds of times). The memo is an LRU
+    ({!Ppdc_prelude.Lru}) holding at most
+    {!cost_matrix_cache_capacity} fabrics, so sweeping many ks cannot
+    accumulate matrices without bound. *)
+
+val cost_matrix_cache_capacity : int
+(** Upper bound on simultaneously cached fabrics (currently 4 — any
+    single experiment touches at most two or three ks). *)
+
+val cost_matrix_cache_stats : unit -> int * int * int
+(** [(live_entries, hits, misses)] of the fat-tree cache, for tests and
+    diagnostics; [live_entries <= cost_matrix_cache_capacity]. *)
 
 val fat_tree_problem :
   ?weighted:bool ->

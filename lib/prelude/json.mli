@@ -1,0 +1,47 @@
+(** Minimal JSON tree: parser, compact one-line printer, helpers.
+
+    Enough JSON for the repo's own wire formats — the [ppdc.metrics/1]
+    NDJSON written by {!Obs} and the [ppdc.rpc/1] protocol spoken by
+    [Ppdc_server] — without pulling a JSON dependency into the prelude.
+    Objects, arrays, strings, numbers, booleans and null are supported;
+    every number is an OCaml [float] (ints round-trip exactly up to
+    2{^53}).
+
+    Printing is the inverse of parsing for finite data: for any [t]
+    whose [Num]s are finite, [parse (to_string t)] is {!equal} to [t].
+    Non-finite numbers print as [null] (JSON has no NaN/infinity), so
+    they do not round-trip — by design, matching the metrics schema. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> t
+(** Raises [Failure] on malformed input or trailing garbage. *)
+
+val to_string : t -> string
+(** Compact rendering, no whitespace, no trailing newline. The result
+    never contains a raw newline (strings are escaped), so it is safe as
+    one NDJSON line. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** [to_string] into an existing buffer. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj] (first match); [None] otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Num]s compare with [Float.compare] (so equal
+    NaNs are equal and [0. <> -0.]), object fields must match in order. *)
+
+val escape_into : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string literal — the string printer
+    the NDJSON writer in {!Obs} builds on. *)
+
+val float_repr : float -> string
+(** Shortest decimal representation that round-trips through
+    [float_of_string]; ["null"] for non-finite values. *)

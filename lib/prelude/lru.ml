@@ -1,0 +1,94 @@
+(* Doubly-linked recency list threaded through a hash table. [head] is
+   the most recently used entry, [tail] the eviction candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards head *)
+  mutable next : ('k, 'v) node option;  (* towards tail *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let hits t = t.hit_count
+let misses t = t.miss_count
+let mem t k = Hashtbl.mem t.table k
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match node.prev with
+  | None -> ()  (* already at the head *)
+  | Some _ ->
+      unlink t node;
+      push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      t.hit_count <- t.hit_count + 1;
+      touch t node;
+      Some node.value
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      touch t node
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let node = { key = k; value = v; prev = None; next = None } in
+      push_front t node;
+      Hashtbl.replace t.table k node
+
+let find_or_add t k build =
+  match find t k with
+  | Some v -> (true, v)
+  | None ->
+      let v = build () in
+      put t k v;
+      (false, v)

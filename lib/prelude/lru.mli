@@ -1,0 +1,45 @@
+(** Fixed-capacity least-recently-used cache.
+
+    A hash table paired with an intrusive recency list: {!find} and
+    {!put} are O(1), and when an insert would exceed the capacity the
+    entry that has gone longest without being touched is evicted. Built
+    for the repo's two expensive-value caches — the cost-matrix caches
+    in [Ppdc_experiments.Runner] and [Ppdc_server] — where values are
+    tens of megabytes and an unbounded table is a slow leak.
+
+    Not thread-safe: callers that share a cache across domains guard it
+    with their own mutex (both in-tree users do), which also lets them
+    make "concurrent misses for the same key wait for one build" a
+    matter of calling {!find_or_add} under the lock. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] if [capacity < 1]. Keys use polymorphic
+    hashing, so they must be hashable (ints and strings in-tree). *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+(** Live entries; always [<= capacity]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit refreshes the entry's recency and is counted in
+    {!hits}, a miss in {!misses}. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, making the entry most recent; evicts the least
+    recently used entry if the capacity would be exceeded. Does not
+    touch the hit/miss counters. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
+(** [find_or_add t k build] is [(true, v)] on a hit and
+    [(false, build ())] on a miss, caching the built value. Counts as
+    one {!find}. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Presence test; does not refresh recency or touch the counters. *)
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int

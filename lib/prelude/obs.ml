@@ -218,30 +218,11 @@ let reset () =
 
 (* --- NDJSON writer ------------------------------------------------------ *)
 
-let escape_into buffer s =
-  Buffer.add_char buffer '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buffer "\\\""
-      | '\\' -> Buffer.add_string buffer "\\\\"
-      | '\n' -> Buffer.add_string buffer "\\n"
-      | '\r' -> Buffer.add_string buffer "\\r"
-      | '\t' -> Buffer.add_string buffer "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buffer c)
-    s;
-  Buffer.add_char buffer '"'
-
-let float_repr x =
-  if not (Float.is_finite x) then "null"
-  else begin
-    (* Shortest representation that still round-trips. *)
-    let s = Printf.sprintf "%.12g" x in
-    if Float.equal (float_of_string s) x then s
-    else Printf.sprintf "%.17g" x
-  end
+(* String escaping and float formatting live in the shared prelude
+   [Json] module (the reader half of this wire format lives there
+   too). *)
+let escape_into = Json.escape_into
+let float_repr = Json.float_repr
 
 let value_into buffer = function
   | Int i -> Buffer.add_string buffer (string_of_int i)
@@ -301,172 +282,3 @@ let export ~path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_ndjson (snapshot ())))
-
-(* --- minimal JSON reader ------------------------------------------------ *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  type cursor = { text : string; mutable pos : int }
-
-  let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
-
-  let fail c msg =
-    failwith (Printf.sprintf "Obs.Json.parse: %s at offset %d" msg c.pos)
-
-  let skip_ws c =
-    while
-      match peek c with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-          c.pos <- c.pos + 1;
-          true
-      | _ -> false
-    do
-      ()
-    done
-
-  let expect c ch =
-    match peek c with
-    | Some x when x = ch -> c.pos <- c.pos + 1
-    | _ -> fail c (Printf.sprintf "expected %C" ch)
-
-  let literal c word v =
-    let n = String.length word in
-    if
-      c.pos + n <= String.length c.text
-      && String.sub c.text c.pos n = word
-    then begin
-      c.pos <- c.pos + n;
-      v
-    end
-    else fail c (Printf.sprintf "expected %s" word)
-
-  let parse_string c =
-    expect c '"';
-    let buffer = Buffer.create 16 in
-    let rec loop () =
-      match peek c with
-      | None -> fail c "unterminated string"
-      | Some '"' -> c.pos <- c.pos + 1
-      | Some '\\' -> (
-          c.pos <- c.pos + 1;
-          match peek c with
-          | Some 'n' -> Buffer.add_char buffer '\n'; c.pos <- c.pos + 1; loop ()
-          | Some 't' -> Buffer.add_char buffer '\t'; c.pos <- c.pos + 1; loop ()
-          | Some 'r' -> Buffer.add_char buffer '\r'; c.pos <- c.pos + 1; loop ()
-          | Some (('"' | '\\' | '/') as ch) ->
-              Buffer.add_char buffer ch;
-              c.pos <- c.pos + 1;
-              loop ()
-          | Some 'u' ->
-              if c.pos + 5 > String.length c.text then fail c "bad \\u escape";
-              let hex = String.sub c.text (c.pos + 1) 4 in
-              let code =
-                match int_of_string_opt ("0x" ^ hex) with
-                | Some v -> v
-                | None -> fail c "bad \\u escape"
-              in
-              (* Our writer only escapes control characters, so a raw
-                 byte is enough. *)
-              if code < 0x100 then Buffer.add_char buffer (Char.chr code)
-              else fail c "unsupported \\u escape";
-              c.pos <- c.pos + 5;
-              loop ()
-          | _ -> fail c "bad escape")
-      | Some ch ->
-          Buffer.add_char buffer ch;
-          c.pos <- c.pos + 1;
-          loop ()
-    in
-    loop ();
-    Buffer.contents buffer
-
-  let parse_number c =
-    let start = c.pos in
-    let number_char ch =
-      match ch with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while match peek c with Some ch when number_char ch -> true | _ -> false do
-      c.pos <- c.pos + 1
-    done;
-    match float_of_string_opt (String.sub c.text start (c.pos - start)) with
-    | Some x -> x
-    | None -> fail c "bad number"
-
-  let rec parse_value c =
-    skip_ws c;
-    match peek c with
-    | None -> fail c "unexpected end of input"
-    | Some '{' ->
-        c.pos <- c.pos + 1;
-        skip_ws c;
-        if peek c = Some '}' then begin
-          c.pos <- c.pos + 1;
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws c;
-            let key = parse_string c in
-            skip_ws c;
-            expect c ':';
-            let v = parse_value c in
-            skip_ws c;
-            match peek c with
-            | Some ',' ->
-                c.pos <- c.pos + 1;
-                members ((key, v) :: acc)
-            | Some '}' ->
-                c.pos <- c.pos + 1;
-                List.rev ((key, v) :: acc)
-            | _ -> fail c "expected ',' or '}'"
-          in
-          Obj (members [])
-        end
-    | Some '[' ->
-        c.pos <- c.pos + 1;
-        skip_ws c;
-        if peek c = Some ']' then begin
-          c.pos <- c.pos + 1;
-          List []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value c in
-            skip_ws c;
-            match peek c with
-            | Some ',' ->
-                c.pos <- c.pos + 1;
-                elements (v :: acc)
-            | Some ']' ->
-                c.pos <- c.pos + 1;
-                List.rev (v :: acc)
-            | _ -> fail c "expected ',' or ']'"
-          in
-          List (elements [])
-        end
-    | Some '"' -> Str (parse_string c)
-    | Some 't' -> literal c "true" (Bool true)
-    | Some 'f' -> literal c "false" (Bool false)
-    | Some 'n' -> literal c "null" Null
-    | Some _ -> Num (parse_number c)
-
-  let parse text =
-    let c = { text; pos = 0 } in
-    let v = parse_value c in
-    skip_ws c;
-    if c.pos <> String.length text then fail c "trailing garbage";
-    v
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-end

@@ -99,26 +99,7 @@ val to_ndjson : snapshot -> string
 (** Render the schema above, one record per line, trailing newline. *)
 
 val export : path:string -> unit
-(** [to_ndjson (snapshot ())] written to [path] (truncates). *)
-
-(** {1 Minimal JSON reader}
-
-    Enough JSON to read this module's own NDJSON back (objects, arrays,
-    strings, numbers, booleans, null) — used by [ppdc metrics-summary]
-    without pulling a JSON dependency into the prelude. *)
-
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val parse : string -> t
-  (** Raises [Failure] on malformed input or trailing garbage. *)
-
-  val member : string -> t -> t option
-  (** Field lookup on [Obj]; [None] otherwise. *)
-end
+(** [to_ndjson (snapshot ())] written to [path] (truncates). The
+    emitted NDJSON parses back with {!Json.parse} (one line at a
+    time) — that shared module holds the reader half of this wire
+    format. *)

@@ -1,0 +1,502 @@
+module Json = Ppdc_prelude.Json
+module Lru = Ppdc_prelude.Lru
+module Obs = Ppdc_prelude.Obs
+module Rng = Ppdc_prelude.Rng
+module Graph = Ppdc_topology.Graph
+module Fat_tree = Ppdc_topology.Fat_tree
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Flow = Ppdc_traffic.Flow
+module Workload = Ppdc_traffic.Workload
+module Failures = Ppdc_extensions.Failures
+open Ppdc_core
+
+type session = {
+  k : int;
+  mutable graph : Graph.t;
+  mutable digest : string;
+  mutable flows : Flow.t array;
+  mutable rates : float array;
+  n : int;
+  mutable placement : Placement.t option;
+  mutable failed : (int * int) list;  (* all links failed so far *)
+}
+
+type t = {
+  cache : (string, Cost_matrix.t) Lru.t;
+  sessions : (string, session) Hashtbl.t;
+  started : float;
+  by_method : (string, int ref) Hashtbl.t;
+  mutable total_requests : int;
+  mutable errors : int;
+  mutable stop : bool;
+}
+
+let create ?(cache_capacity = 8) () =
+  {
+    cache = Lru.create ~capacity:cache_capacity;
+    sessions = Hashtbl.create 8;
+    started = Unix.gettimeofday ();
+    by_method = Hashtbl.create 16;
+    total_requests = 0;
+    errors = 0;
+    stop = false;
+  }
+
+let stopped t = t.stop
+
+(* Handler-side failure: mapped to an error response by [handle_line]. *)
+exception Reject of Protocol.error_code * string
+
+let reject code fmt =
+  Printf.ksprintf (fun msg -> raise (Reject (code, msg))) fmt
+
+(* --- small JSON builders ------------------------------------------------ *)
+
+let num i = Json.Num (float_of_int i)
+let fnum x = Json.Num x
+let placement_json (p : Placement.t) = Json.List (Array.to_list (Array.map num p))
+
+(* --- session helpers ---------------------------------------------------- *)
+
+let get_session t params =
+  let name = Protocol.req_str_param params "session" in
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> (name, s)
+  | None -> reject Unknown_session "no session named %S; load_topology first" name
+
+(* Resolve the session's all-pairs matrix through the LRU: the single
+   expensive step of every query, skipped whenever this fabric (by
+   structural digest) has been seen before. *)
+let resolve_cm t (s : session) =
+  let hit, cm =
+    Lru.find_or_add t.cache s.digest (fun () ->
+        Obs.time "server.cost_matrix.compute" (fun () ->
+            Cost_matrix.compute s.graph))
+  in
+  Obs.incr (if hit then "server.cache.hits" else "server.cache.misses");
+  (hit, cm)
+
+let problem_of t s =
+  let hit, cm = resolve_cm t s in
+  (hit, Problem.make ~cm ~flows:s.flows ~n:s.n ())
+
+(* --- handlers ----------------------------------------------------------- *)
+
+let health t _params =
+  Json.Obj
+    [
+      ("status", Str "ok");
+      ("schema", Str "ppdc.rpc/1");
+      ("version", Str "1.0.0");
+      ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
+      ("sessions", num (Hashtbl.length t.sessions));
+    ]
+
+let load_topology t params =
+  let name = Protocol.req_str_param params "session" in
+  let k = Option.value ~default:8 (Protocol.int_param params "k") in
+  let l = Option.value ~default:100 (Protocol.int_param params "l") in
+  let n = Option.value ~default:5 (Protocol.int_param params "n") in
+  let seed = Option.value ~default:1 (Protocol.int_param params "seed") in
+  let weighted =
+    Option.value ~default:false (Protocol.bool_param params "weighted")
+  in
+  if l < 1 then reject Invalid_params "l must be >= 1";
+  if n < 1 then reject Invalid_params "n must be >= 1";
+  let rng = Rng.create seed in
+  let ft =
+    if weighted then begin
+      (* Same recipe as Runner.fat_tree_problem: link delays uniform
+         with mean 1.5 and variance 0.5. *)
+      let half_width = sqrt 1.5 in
+      let weight_rng = Rng.split rng in
+      Fat_tree.build
+        ~weight:(fun _ _ ->
+          Rng.uniform weight_rng ~lo:(1.5 -. half_width)
+            ~hi:(1.5 +. half_width))
+        k
+    end
+    else Fat_tree.build k
+  in
+  let flows = Workload.generate_on_fat_tree ~rng ~l ft in
+  let graph = ft.Fat_tree.graph in
+  let digest = Graph.digest graph in
+  let replaced = Hashtbl.mem t.sessions name in
+  Hashtbl.replace t.sessions name
+    {
+      k;
+      graph;
+      digest;
+      flows;
+      rates = Flow.base_rates flows;
+      n;
+      placement = None;
+      failed = [];
+    };
+  Json.Obj
+    [
+      ("session", Str name);
+      ("replaced", Bool replaced);
+      ("k", num k);
+      ("hosts", num (Graph.num_hosts graph));
+      ("switches", num (Graph.num_switches graph));
+      ("links", num (Graph.num_edges graph));
+      ("flows", num (Array.length flows));
+      ("n", num n);
+      ("digest", Str digest);
+      ("cached_cost_matrix", Bool (Lru.mem t.cache digest));
+    ]
+
+(* Algo. 1 lifted to a whole-chain placement: greedy traffic-weighted
+   ingress/egress, primal-dual prize-collecting stroll for the middle
+   n-2 switches. Approximate by construction — the point of exposing it
+   over RPC is comparing it against dp/optimal on live instances. *)
+let primal_dual_place problem ~rates =
+  let att = Cost.attach problem ~rates in
+  let sw = Problem.switches problem in
+  let argmin ?(exclude = -1) score =
+    let best = ref (-1) in
+    let best_v = ref infinity in
+    Array.iter
+      (fun s ->
+        if s <> exclude then begin
+          let v = score s in
+          if Float.compare v !best_v < 0 then begin
+            best := s;
+            best_v := v
+          end
+        end)
+      sw;
+    !best
+  in
+  let n = Problem.n problem in
+  if n = 1 then
+    let s = argmin (fun s -> att.a_in.(s) +. att.a_out.(s)) in
+    ([| s |], Json.Obj [])
+  else begin
+    let p1 = argmin (fun s -> att.a_in.(s)) in
+    let pn = argmin ~exclude:p1 (fun s -> att.a_out.(s)) in
+    if n = 2 then ([| p1; pn |], Json.Obj [])
+    else begin
+      let candidates =
+        Array.of_list
+          (List.filter (fun s -> s <> p1 && s <> pn) (Array.to_list sw))
+      in
+      let o =
+        Stroll_primal_dual.solve ~cm:(Problem.cm problem) ~src:p1 ~dst:pn
+          ~n:(n - 2) ~candidates ()
+      in
+      ( Array.concat [ [| p1 |]; o.switches; [| pn |] ],
+        Json.Obj
+          [ ("prize", fnum o.prize); ("iterations", num o.iterations) ] )
+    end
+  end
+
+let place t params =
+  let _, s = get_session t params in
+  let algo = Option.value ~default:"dp" (Protocol.str_param params "algo") in
+  let budget = Protocol.int_param params "budget" in
+  let pair_limit = Protocol.int_param params "pair_limit" in
+  let t0 = Unix.gettimeofday () in
+  let hit, problem = problem_of t s in
+  let rates = s.rates in
+  let placement, cost, extra =
+    match algo with
+    | "dp" ->
+        let o = Placement_dp.solve problem ~rates ?pair_limit () in
+        (o.placement, o.cost, [ ("objective", fnum o.objective) ])
+    | "optimal" ->
+        let o = Placement_opt.solve problem ~rates ?budget () in
+        ( o.placement,
+          o.cost,
+          [
+            ("proven_optimal", Json.Bool o.proven_optimal);
+            ("explored", num o.explored);
+          ] )
+    | "primal_dual" ->
+        let placement, detail = primal_dual_place problem ~rates in
+        let cost = Cost.comm_cost problem ~rates placement in
+        (placement, cost, [ ("primal_dual", detail) ])
+    | "steering" ->
+        let o = Ppdc_baselines.Steering.place problem ~rates in
+        (o.placement, o.cost, [])
+    | "greedy" ->
+        let o = Ppdc_baselines.Greedy_liu.place problem ~rates in
+        (o.placement, o.cost, [])
+    | other ->
+        reject Invalid_params
+          "unknown algo %S (expected primal_dual, dp, optimal, steering or \
+           greedy)"
+          other
+  in
+  s.placement <- Some placement;
+  Json.Obj
+    (("algo", Json.Str algo)
+    :: ("placement", placement_json placement)
+    :: ("cost", fnum cost)
+    :: ("cache_hit", Json.Bool hit)
+    :: ("elapsed_ms", fnum (1000.0 *. (Unix.gettimeofday () -. t0)))
+    :: extra)
+
+let migrate t params =
+  let _, s = get_session t params in
+  let algo =
+    Option.value ~default:"mpareto" (Protocol.str_param params "algo")
+  in
+  let mu = Option.value ~default:1e4 (Protocol.float_param params "mu") in
+  let budget = Protocol.int_param params "budget" in
+  let current =
+    match s.placement with
+    | Some p -> p
+    | None ->
+        reject Invalid_params
+          "session has no current placement; call place first"
+  in
+  let t0 = Unix.gettimeofday () in
+  let hit, problem = problem_of t s in
+  let rates = s.rates in
+  let vnf_result migration ~migration_cost ~comm_cost ~total_cost extra =
+    s.placement <- Some migration;
+    ("placement", placement_json migration)
+    :: ("moved", num (Cost.moved ~src:current ~dst:migration))
+    :: ("migration_cost", fnum migration_cost)
+    :: ("comm_cost", fnum comm_cost)
+    :: ("total_cost", fnum total_cost)
+    :: extra
+  in
+  let vm_result (o : Ppdc_baselines.Vm.outcome) =
+    (* VM baselines move endpoints, not VNFs: persist the rehosted
+       flows so later requests see the migrated workload. *)
+    s.flows <- o.flows;
+    [
+      ("moved_vms", num o.migrations);
+      ("migration_cost", fnum o.migration_cost);
+      ("comm_cost", fnum o.comm_cost);
+      ("total_cost", fnum o.total_cost);
+    ]
+  in
+  let fields =
+    match algo with
+    | "mpareto" ->
+        let o = Mpareto.migrate problem ~rates ~mu ~current () in
+        vnf_result o.migration ~migration_cost:o.migration_cost
+          ~comm_cost:o.comm_cost ~total_cost:o.total_cost
+          [ ("frontiers", num (List.length o.points)) ]
+    | "optimal" ->
+        let o = Migration_opt.solve problem ~rates ~mu ~current ?budget () in
+        let migration_cost =
+          Cost.migration_cost problem ~mu ~src:current ~dst:o.migration
+        in
+        vnf_result o.migration ~migration_cost
+          ~comm_cost:(Cost.comm_cost problem ~rates o.migration)
+          ~total_cost:o.cost
+          [
+            ("proven_optimal", Json.Bool o.proven_optimal);
+            ("explored", num o.explored);
+          ]
+    | "plan" ->
+        vm_result
+          (Ppdc_baselines.Plan.migrate problem ~rates ~mu_vm:mu
+             ~placement:current ())
+    | "mcf" ->
+        vm_result
+          (Ppdc_baselines.Mcf_migration.migrate problem ~rates ~mu_vm:mu
+             ~placement:current ())
+    | "none" ->
+        let o =
+          Ppdc_baselines.No_migration.evaluate problem ~rates
+            ~placement:current
+        in
+        [
+          ("moved", num 0);
+          ("migration_cost", fnum 0.0);
+          ("comm_cost", fnum o.comm_cost);
+          ("total_cost", fnum o.total_cost);
+        ]
+    | other ->
+        reject Invalid_params
+          "unknown algo %S (expected mpareto, optimal, plan, mcf or none)"
+          other
+  in
+  Json.Obj
+    (("algo", Json.Str algo)
+    :: ("cache_hit", Json.Bool hit)
+    :: ("elapsed_ms", fnum (1000.0 *. (Unix.gettimeofday () -. t0)))
+    :: fields)
+
+let rates_update t params =
+  let _, s = get_session t params in
+  let explicit = Protocol.float_list_param params "rates" in
+  let seed = Protocol.int_param params "seed" in
+  let scale = Protocol.float_param params "scale" in
+  let chosen =
+    List.filter_map Fun.id
+      [
+        Option.map (fun _ -> `Rates) explicit;
+        Option.map (fun _ -> `Seed) seed;
+        Option.map (fun _ -> `Scale) scale;
+      ]
+  in
+  (match chosen with
+  | [ _ ] -> ()
+  | _ ->
+      reject Invalid_params
+        "exactly one of \"rates\", \"seed\" or \"scale\" is required");
+  let rates =
+    match (explicit, seed, scale) with
+    | Some r, _, _ ->
+        if Array.length r <> Array.length s.flows then
+          reject Invalid_params "expected %d rates, got %d"
+            (Array.length s.flows) (Array.length r);
+        Array.iter
+          (fun x ->
+            if (not (Float.is_finite x)) || Float.compare x 0.0 < 0 then
+              reject Invalid_params "rates must be finite and non-negative")
+          r;
+        r
+    | None, Some seed, _ ->
+        Workload.redraw_rates ~rng:(Rng.create seed) s.flows
+    | None, None, Some c ->
+        if (not (Float.is_finite c)) || Float.compare c 0.0 < 0 then
+          reject Invalid_params "scale must be finite and non-negative";
+        Array.map (fun x -> c *. x) s.rates
+    | None, None, None -> assert false
+  in
+  s.rates <- rates;
+  Json.Obj
+    [
+      ("flows", num (Array.length rates));
+      ("total_rate", fnum (Flow.total_rate rates));
+    ]
+
+let fail_links t params =
+  let _, s = get_session t params in
+  let fraction =
+    match Protocol.float_param params "fraction" with
+    | Some f -> f
+    | None -> reject Invalid_params "missing required parameter \"fraction\""
+  in
+  let seed = Option.value ~default:0 (Protocol.int_param params "seed") in
+  let degraded, failed =
+    Failures.fail_links ~rng:(Rng.create seed) ~fraction s.graph
+  in
+  s.graph <- degraded;
+  s.digest <- Graph.digest degraded;
+  s.failed <- s.failed @ failed;
+  Json.Obj
+    [
+      ("failed_count", num (List.length failed));
+      ( "failed",
+        Json.List
+          (List.map (fun (u, v) -> Json.List [ num u; num v ]) failed) );
+      ("links", num (Graph.num_edges degraded));
+      ("digest", Str s.digest);
+      ("cached_cost_matrix", Bool (Lru.mem t.cache s.digest));
+    ]
+
+let stats t _params =
+  let sessions =
+    Hashtbl.fold
+      (fun name (s : session) acc ->
+        Json.Obj
+          [
+            ("name", Str name);
+            ("k", num s.k);
+            ("nodes", num (Graph.num_nodes s.graph));
+            ("links", num (Graph.num_edges s.graph));
+            ("flows", num (Array.length s.flows));
+            ("n", num s.n);
+            ("placed", Bool (Option.is_some s.placement));
+            ("failed_links", num (List.length s.failed));
+            ("digest", Str s.digest);
+          ]
+        :: acc)
+      t.sessions []
+  in
+  let by_method =
+    Hashtbl.fold (fun m r acc -> (m, num !r) :: acc) t.by_method []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ("schema", Str "ppdc.rpc/1");
+      ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
+      ( "requests",
+        Json.Obj
+          [
+            ("total", num t.total_requests);
+            ("errors", num t.errors);
+            ("by_method", Json.Obj by_method);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", num (Lru.capacity t.cache));
+            ("entries", num (Lru.length t.cache));
+            ("hits", num (Lru.hits t.cache));
+            ("misses", num (Lru.misses t.cache));
+          ] );
+      ("sessions", Json.List sessions);
+    ]
+
+let shutdown t _params =
+  t.stop <- true;
+  Json.Obj [ ("stopping", Bool true) ]
+
+(* --- dispatch ----------------------------------------------------------- *)
+
+let dispatch t (req : Protocol.request) =
+  let handler =
+    match req.meth with
+    | "health" -> health
+    | "load_topology" -> load_topology
+    | "place" -> place
+    | "migrate" -> migrate
+    | "rates_update" -> rates_update
+    | "fail_links" -> fail_links
+    | "stats" -> stats
+    | "shutdown" -> shutdown
+    | other -> reject Unknown_method "unknown method %S" other
+  in
+  Obs.time ("rpc." ^ req.meth) (fun () -> handler t req.params)
+
+let note_error t =
+  t.errors <- t.errors + 1;
+  Obs.incr "rpc.errors"
+
+let handle_line t line =
+  t.total_requests <- t.total_requests + 1;
+  Obs.incr "rpc.requests";
+  match Protocol.request_of_line line with
+  | Error (code, msg) ->
+      note_error t;
+      Protocol.error_response ~id:Json.Null code msg
+  | Ok req -> (
+      (let r =
+         match Hashtbl.find_opt t.by_method req.meth with
+         | Some r -> r
+         | None ->
+             let r = ref 0 in
+             Hashtbl.add t.by_method req.meth r;
+             r
+       in
+       r := !r + 1);
+      match dispatch t req with
+      | result -> Protocol.ok_response ~id:req.id result
+      | exception Reject (code, msg) ->
+          note_error t;
+          Protocol.error_response ~id:req.id code msg
+      | exception Protocol.Bad_params msg ->
+          note_error t;
+          Protocol.error_response ~id:req.id Invalid_params msg
+      | exception Invalid_argument msg ->
+          note_error t;
+          Protocol.error_response ~id:req.id Invalid_params msg
+      | exception exn ->
+          note_error t;
+          Protocol.error_response ~id:req.id Internal_error
+            (Printexc.to_string exn))
+
+let overlong_response =
+  Protocol.error_response ~id:Json.Null Line_too_long
+    "request line exceeds the transport's maximum length"

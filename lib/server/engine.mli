@@ -1,0 +1,50 @@
+(** Request engine of the placement/migration daemon.
+
+    Holds the server's mutable state — named sessions (topology +
+    workload + current placement) and an LRU cache of all-pairs cost
+    matrices keyed by {!Ppdc_topology.Graph.digest} — and turns one
+    request line into one response line. Transports (stdio, Unix
+    socket) own the framing; the engine never reads or writes a file
+    descriptor, which is what makes the full protocol drivable from a
+    unit test.
+
+    The cost-matrix cache is the server's point: [load_topology] and
+    [fail_links] are cheap (no all-pairs recompute), and each
+    [place]/[migrate] resolves its matrix through the cache, so a warm
+    query against a fabric the server has seen — including a
+    previously seen degraded fabric, whose digest is remembered —
+    skips the Θ(|V|²·log|V|) Dijkstra sweep entirely. Handlers run the
+    existing solver stack, so heavy requests fan out onto the
+    {!Ppdc_prelude.Parallel} domain pool exactly as the batch CLI
+    does.
+
+    Every request is counted and timed under an [Obs] span
+    ([rpc.<method>]); cache traffic shows up as
+    [server.cache.hits]/[server.cache.misses]. A malformed or failing
+    request produces a structured error response and leaves the engine
+    serving — no handler exception escapes {!handle_line}.
+
+    Methods: [health], [load_topology], [place] (primal_dual / dp /
+    optimal / steering / greedy), [migrate] (mpareto / optimal / plan /
+    mcf / none), [rates_update], [fail_links], [stats], [shutdown].
+    See DESIGN.md for the full parameter/result schema. *)
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** Fresh engine with no sessions. [cache_capacity] (default 8) bounds
+    the cost-matrix LRU. Raises [Invalid_argument] if it is < 1. *)
+
+val handle_line : t -> string -> string
+(** Answer one request line with one response line (no trailing
+    newline). Total: parse errors, unknown methods, bad parameters and
+    handler exceptions all come back as [ok: false] responses. *)
+
+val overlong_response : string
+(** The [line_too_long] error line a transport answers with when a
+    request line exceeded its bound (the engine never sees the line,
+    so the id is [null]). *)
+
+val stopped : t -> bool
+(** True once a [shutdown] request has been answered; transports
+    drain their current connection and stop accepting. *)

@@ -1,0 +1,102 @@
+let default_max_line = 1 lsl 20
+
+type read = Line of string | Overlong | Eof
+
+(* Bounded line reader. On overflow the rest of the line is drained so
+   the stream resynchronizes at the next newline — one oversized
+   request costs one error response, not the connection. *)
+let read_line_bounded ic ~max_line =
+  let buffer = Buffer.create 256 in
+  let rec go overflow =
+    match input_char ic with
+    | '\n' -> if overflow then Overlong else Line (Buffer.contents buffer)
+    | c ->
+        if Buffer.length buffer >= max_line then go true
+        else begin
+          Buffer.add_char buffer c;
+          go overflow
+        end
+    | exception End_of_file ->
+        if Buffer.length buffer = 0 then Eof
+        else if overflow then Overlong
+        else Line (Buffer.contents buffer)
+  in
+  go false
+
+let serve_channel ?(max_line = default_max_line) engine ic oc =
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    if not (Engine.stopped engine) then
+      match read_line_bounded ic ~max_line with
+      | Eof -> ()
+      | Overlong ->
+          respond Engine.overlong_response;
+          loop ()
+      | Line l when String.trim l = "" -> loop ()
+      | Line l ->
+          respond (Engine.handle_line engine l);
+          loop ()
+  in
+  loop ()
+
+let serve_stdio ?max_line engine = serve_channel ?max_line engine stdin stdout
+
+let remove_stale_socket path =
+  if Sys.file_exists path then begin
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_SOCK -> Unix.unlink path
+    | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Transport.serve_unix: %s exists and is not a socket" path)
+  end
+
+let serve_unix ?max_line ~path engine =
+  (* A client closing mid-response must surface as EPIPE on this
+     connection, not as a fatal SIGPIPE for the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  remove_stale_socket path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      while not (Engine.stopped engine) do
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (* Errors here mean this client died; the daemon carries on. *)
+        (try serve_channel ?max_line engine ic oc
+         with Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
+        (try flush oc with Sys_error _ -> ());
+        (* The two channels share [fd]; closing the input side closes
+           the descriptor. *)
+        try close_in ic with Sys_error _ -> ()
+      done)
+
+let call ~path requests =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      List.map
+        (fun req ->
+          output_string oc req;
+          output_char oc '\n';
+          flush oc;
+          match input_line ic with
+          | line -> line
+          | exception End_of_file ->
+              failwith "Transport.call: server closed the connection")
+        requests)

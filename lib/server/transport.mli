@@ -1,0 +1,35 @@
+(** Transports for the [ppdc.rpc/1] NDJSON protocol.
+
+    Two server transports share one line loop: [--stdio] (requests on
+    stdin, responses on stdout — what tests and CI drive) and a
+    Unix-domain socket daemon. Both isolate failures per connection:
+    an oversized line is consumed up to its newline and answered with
+    a [line_too_long] error, a mid-line disconnect abandons only that
+    connection, and [SIGPIPE] is ignored so a client vanishing between
+    request and response never kills the daemon. *)
+
+val default_max_line : int
+(** Longest accepted request line in bytes (1 MiB). Longer lines are
+    drained and answered with {!Engine.overlong_response}. *)
+
+val serve_channel :
+  ?max_line:int -> Engine.t -> in_channel -> out_channel -> unit
+(** Serve one connection: read request lines, write response lines
+    (flushed after each), until EOF or the engine is {!Engine.stopped}
+    by a [shutdown] request. Blank lines are ignored. *)
+
+val serve_stdio : ?max_line:int -> Engine.t -> unit
+(** [serve_channel] over stdin/stdout. *)
+
+val serve_unix : ?max_line:int -> path:string -> Engine.t -> unit
+(** Listen on a Unix-domain socket at [path] (an existing socket file
+    there is replaced; any other kind of file raises
+    [Invalid_argument]) and serve connections sequentially until a
+    [shutdown] request. Connection-level I/O errors are contained;
+    the socket file is removed on return. *)
+
+val call : path:string -> string list -> string list
+(** Client side: connect to the daemon at [path], send each request
+    line in order, and return the response line each received —
+    lock-step, over a single connection. Raises [Unix.Unix_error] if
+    the daemon is unreachable and [Failure] if it hangs up early. *)

@@ -108,6 +108,29 @@ let map_weights g f =
   in
   make ~kinds:g.kinds ~edges:edges'
 
+let digest g =
+  (* [edge_list] is canonical (u < v, sorted at build time), so the
+     serialization — and hence the hash — is independent of the order
+     the edges were handed to [make]. Weights hash by their IEEE bit
+     pattern: any weight change, however small, changes the digest. *)
+  let b = Buffer.create (64 + (16 * Array.length g.edge_list)) in
+  Buffer.add_string b "ppdc.graph/1|";
+  Buffer.add_string b (string_of_int (Array.length g.kinds));
+  Buffer.add_char b '|';
+  Array.iter
+    (fun k -> Buffer.add_char b (match k with Host -> 'h' | Switch -> 's'))
+    g.kinds;
+  Array.iter
+    (fun (u, v, w) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int u);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_char b ',';
+      Buffer.add_string b (Int64.to_string (Int64.bits_of_float w)))
+    g.edge_list;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp fmt g =
   Format.fprintf fmt "graph{hosts=%d switches=%d edges=%d}" (num_hosts g)
     (num_switches g) (num_edges g)

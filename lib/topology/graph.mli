@@ -57,5 +57,14 @@ val map_weights : t -> (int -> int -> float -> float) -> t
     topology into a weighted one, e.g. uniform link delays. Raises
     [Invalid_argument] if [f] produces a non-positive weight. *)
 
+val digest : t -> string
+(** Structural fingerprint (hex MD5) over node kinds, edges and edge
+    weights. Independent of the order edges were passed to {!make} (the
+    edge list is canonicalized at build time), so two graphs built from
+    the same node/edge data always agree; changing a single weight —
+    weights hash by IEEE bit pattern — or any node kind or edge changes
+    the digest. [Ppdc_server] uses this as the cache key for all-pairs
+    cost matrices. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line structural summary for logs. *)

@@ -77,6 +77,30 @@ let test_mean_cell_format () =
     (String.contains cell '\xc2' || String.contains cell '+'
     || String.length cell > 3)
 
+let test_cost_matrix_cache_bounded () =
+  (* More distinct fabrics than the LRU can hold: live entries must
+     stay capped while warm fabrics still hit. *)
+  let ks = [ 2; 4; 6; 8; 10 ] in
+  Alcotest.(check bool) "test exceeds capacity" true
+    (List.length ks > Runner.cost_matrix_cache_capacity);
+  List.iter (fun k -> ignore (Runner.unweighted_fat_tree k)) ks;
+  let len, hits_before, _ = Runner.cost_matrix_cache_stats () in
+  Alcotest.(check bool) "live entries capped" true
+    (len <= Runner.cost_matrix_cache_capacity);
+  (* The most recent fabric is resident: re-asking is a hit. *)
+  ignore (Runner.unweighted_fat_tree 10);
+  let _, hits_after, _ = Runner.cost_matrix_cache_stats () in
+  Alcotest.(check bool) "warm fabric hits" true (hits_after > hits_before);
+  (* k=2 was evicted (5 fabrics through a 4-entry cache): re-asking
+     rebuilds, and the cache stays capped. *)
+  let _, _, misses_before = Runner.cost_matrix_cache_stats () in
+  ignore (Runner.unweighted_fat_tree 2);
+  let len2, _, misses_after = Runner.cost_matrix_cache_stats () in
+  Alcotest.(check bool) "evicted fabric misses" true
+    (misses_after > misses_before);
+  Alcotest.(check bool) "still capped after refill" true
+    (len2 <= Runner.cost_matrix_cache_capacity)
+
 let () =
   Alcotest.run "ppdc_experiments_infra"
     [
@@ -94,5 +118,7 @@ let () =
           Alcotest.test_case "weighted instances differ" `Quick
             test_runner_weighted_differs;
           Alcotest.test_case "cell formatting" `Quick test_mean_cell_format;
+          Alcotest.test_case "cost-matrix cache stays bounded" `Quick
+            test_cost_matrix_cache_bounded;
         ] );
     ]

@@ -4,6 +4,8 @@ module Rng = Ppdc_prelude.Rng
 module Stats = Ppdc_prelude.Stats
 module Table = Ppdc_prelude.Table
 module Obs = Ppdc_prelude.Obs
+module Json = Ppdc_prelude.Json
+module Lru = Ppdc_prelude.Lru
 module Parallel = Ppdc_prelude.Parallel
 
 (* --- priority queue -------------------------------------------------- *)
@@ -286,29 +288,29 @@ let test_obs_ndjson_roundtrip () =
   let lines =
     String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
   in
-  let records = List.map Obs.Json.parse lines in
+  let records = List.map Json.parse lines in
   let typed kind =
     List.filter
-      (fun r -> Obs.Json.member "type" r = Some (Obs.Json.Str kind))
+      (fun r -> Json.member "type" r = Some (Json.Str kind))
       records
   in
   Alcotest.(check int) "one meta line" 1 (List.length (typed "meta"));
   (match typed "event" with
   | [ e ] ->
       Alcotest.(check bool) "string field survives escaping" true
-        (Obs.Json.member "policy" e = Some (Obs.Json.Str "mPareto \"quoted\"\n"));
+        (Json.member "policy" e = Some (Json.Str "mPareto \"quoted\"\n"));
       Alcotest.(check bool) "numeric field" true
-        (Obs.Json.member "cost" e = Some (Obs.Json.Num 12.5))
+        (Json.member "cost" e = Some (Json.Num 12.5))
   | _ -> Alcotest.fail "expected exactly one event");
   (match typed "counter" with
   | [ c ] ->
       Alcotest.(check bool) "counter value" true
-        (Obs.Json.member "value" c = Some (Obs.Json.Num 7.0))
+        (Json.member "value" c = Some (Json.Num 7.0))
   | _ -> Alcotest.fail "expected exactly one counter");
   match typed "span" with
   | [ s ] ->
       Alcotest.(check bool) "span total" true
-        (Obs.Json.member "total_s" s = Some (Obs.Json.Num 0.25))
+        (Json.member "total_s" s = Some (Json.Num 0.25))
   | _ -> Alcotest.fail "expected exactly one span"
 
 let test_obs_json_parser_rejects_garbage () =
@@ -316,7 +318,7 @@ let test_obs_json_parser_rejects_garbage () =
     (fun text ->
       Alcotest.(check bool) (Printf.sprintf "rejects %S" text) true
         (try
-           ignore (Obs.Json.parse text);
+           ignore (Json.parse text);
            false
          with Failure _ -> true))
     [ ""; "{"; "{\"a\":}"; "[1,]"; "{\"a\":1} trailing"; "\"unterminated" ]
@@ -352,6 +354,137 @@ let test_table_csv_quotes () =
   Alcotest.(check bool) "quote escaped" true
     (String.split_on_char '\n' csv
     |> List.exists (fun l -> l = "\"pla\"\"in\""))
+
+(* --- json ------------------------------------------------------------- *)
+
+let test_json_print_known () =
+  let v =
+    Json.Obj
+      [
+        ("id", Json.Num 3.0);
+        ("ok", Json.Bool true);
+        ("msg", Json.Str "a\"b\nc");
+        ("xs", Json.List [ Json.Null; Json.Num (-0.5) ]);
+      ]
+  in
+  Alcotest.(check string) "compact one-line"
+    {|{"id":3,"ok":true,"msg":"a\"b\nc","xs":[null,-0.5]}|}
+    (Json.to_string v)
+
+let test_json_nonfinite_prints_null () =
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Num Float.nan));
+  Alcotest.(check string) "inf" "[null]"
+    (Json.to_string (Json.List [ Json.Num Float.infinity ]))
+
+let test_json_member () =
+  let v = Json.parse {| {"a": 1, "b": [true, null]} |} in
+  (match Json.member "b" v with
+  | Some (Json.List [ Json.Bool true; Json.Null ]) -> ()
+  | _ -> Alcotest.fail "member b");
+  Alcotest.(check bool) "absent key" true
+    (Option.is_none (Json.member "z" v));
+  Alcotest.(check bool) "member of non-object" true
+    (Option.is_none (Json.member "a" Json.Null))
+
+let json_gen =
+  let open QCheck.Gen in
+  let key = string_size ~gen:printable (0 -- 6) in
+  let num =
+    oneof
+      [
+        float_range (-1e9) 1e9;
+        map float_of_int (int_range (-1000000) 1000000);
+      ]
+  in
+  sized_size (0 -- 3)
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun x -> Json.Num x) num;
+               map (fun s -> Json.Str s) (string_size ~gen:printable (0 -- 8));
+             ]
+         in
+         if n = 0 then leaf
+         else
+           frequency
+             [
+               (2, leaf);
+               ( 1,
+                 map
+                   (fun xs -> Json.List xs)
+                   (list_size (0 -- 4) (self (n - 1))) );
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (0 -- 4) (pair key (self (n - 1)))) );
+             ])
+
+let prop_json_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:300
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v -> Json.equal v (Json.parse (Json.to_string v)))
+
+(* --- lru -------------------------------------------------------------- *)
+
+let test_lru_rejects_bad_capacity () =
+  match Lru.create ~capacity:0 with
+  | (_ : (int, int) Lru.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_lru_evicts_least_recent () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  (* Touch "a" so "b" becomes the eviction candidate. *)
+  Alcotest.(check (option int)) "a hit" (Some 1) (Lru.find c "a");
+  Lru.put c "c" 3;
+  Alcotest.(check int) "bounded" 2 (Lru.length c);
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check bool) "a kept by recency refresh" true (Lru.mem c "a");
+  Alcotest.(check bool) "c present" true (Lru.mem c "c")
+
+let test_lru_put_replaces () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "a" 10;
+  Alcotest.(check int) "no duplicate entry" 1 (Lru.length c);
+  Alcotest.(check (option int)) "latest value wins" (Some 10) (Lru.find c "a")
+
+let test_lru_find_or_add () =
+  let c = Lru.create ~capacity:4 in
+  let builds = ref 0 in
+  let build () =
+    incr builds;
+    42
+  in
+  let hit1, v1 = Lru.find_or_add c "k" build in
+  let hit2, v2 = Lru.find_or_add c "k" build in
+  Alcotest.(check (pair bool int)) "miss builds" (false, 42) (hit1, v1);
+  Alcotest.(check (pair bool int)) "hit reuses" (true, 42) (hit2, v2);
+  Alcotest.(check int) "built exactly once" 1 !builds;
+  Alcotest.(check int) "one hit counted" 1 (Lru.hits c);
+  Alcotest.(check int) "one miss counted" 1 (Lru.misses c)
+
+let prop_lru_keeps_most_recent =
+  QCheck.Test.make
+    ~name:"length bounded and most-recent keys resident" ~count:200
+    QCheck.(pair (int_range 1 5) (small_list (int_bound 9)))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun k -> Lru.put c k (k * 7)) keys;
+      (* Most recent [cap] distinct keys (a repeated put refreshes
+         recency, so scan newest to oldest). *)
+      let recent =
+        List.fold_left
+          (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+          [] (List.rev keys)
+        |> List.filteri (fun i _ -> i < cap)
+      in
+      Lru.length c <= cap
+      && List.for_all (fun k -> Lru.find c k = Some (k * 7)) recent)
 
 let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
@@ -417,4 +550,24 @@ let () =
           Alcotest.test_case "arity checking" `Quick test_table_rejects_bad_row;
           Alcotest.test_case "csv quoting" `Quick test_table_csv_quotes;
         ] );
+      ( "json",
+        [
+          Alcotest.test_case "compact printing" `Quick test_json_print_known;
+          Alcotest.test_case "non-finite numbers print as null" `Quick
+            test_json_nonfinite_prints_null;
+          Alcotest.test_case "member lookup" `Quick test_json_member;
+        ] );
+      qsuite "json-properties" [ prop_json_print_parse_roundtrip ];
+      ( "lru",
+        [
+          Alcotest.test_case "rejects capacity < 1" `Quick
+            test_lru_rejects_bad_capacity;
+          Alcotest.test_case "evicts the least recent" `Quick
+            test_lru_evicts_least_recent;
+          Alcotest.test_case "put replaces in place" `Quick
+            test_lru_put_replaces;
+          Alcotest.test_case "find_or_add builds once" `Quick
+            test_lru_find_or_add;
+        ] );
+      qsuite "lru-properties" [ prop_lru_keeps_most_recent ];
     ]

@@ -1,0 +1,289 @@
+(* Tests for the ppdc.rpc/1 daemon: engine-level unit tests that drive
+   [Engine.handle_line] directly, and a [--stdio] integration test that
+   spawns the real binary and walks every method plus the malformed
+   cases, checking the server answers each with a structured error and
+   keeps serving. *)
+
+module Json = Ppdc_prelude.Json
+module Engine = Ppdc_server.Engine
+
+(* --- response helpers ------------------------------------------------- *)
+
+let response_id line =
+  match Json.member "id" (Json.parse line) with
+  | Some v -> v
+  | None -> Alcotest.failf "response without id: %s" line
+
+let expect_ok line =
+  let j = Json.parse line in
+  match (Json.member "ok" j, Json.member "result" j) with
+  | Some (Json.Bool true), Some r -> r
+  | _ -> Alcotest.failf "expected ok response, got: %s" line
+
+let expect_error line =
+  let j = Json.parse line in
+  match (Json.member "ok" j, Json.member "error" j) with
+  | Some (Json.Bool false), Some err -> (
+      match Json.member "code" err with
+      | Some (Json.Str code) -> code
+      | _ -> Alcotest.failf "error without code: %s" line)
+  | _ -> Alcotest.failf "expected error response, got: %s" line
+
+let bool_field result key =
+  match Json.member key result with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "expected bool field %s" key
+
+let str_field result key =
+  match Json.member key result with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "expected string field %s" key
+
+(* --- engine unit tests ------------------------------------------------ *)
+
+let eng () = Engine.create ~cache_capacity:4 ()
+
+let load e ?(session = "s") ?(k = 4) ?(l = 6) ?(n = 3) () =
+  expect_ok
+    (Engine.handle_line e
+       (Printf.sprintf
+          {|{"id":0,"method":"load_topology","params":{"session":%S,"k":%d,"l":%d,"n":%d}}|}
+          session k l n))
+
+let test_engine_health () =
+  let e = eng () in
+  let r = expect_ok (Engine.handle_line e {|{"id":1,"method":"health"}|}) in
+  Alcotest.(check string) "schema" "ppdc.rpc/1" (str_field r "schema");
+  Alcotest.(check bool) "not stopped" false (Engine.stopped e)
+
+let test_engine_errors_echo_id () =
+  let e = eng () in
+  (* Unparseable line: error with id null. *)
+  let bad = Engine.handle_line e "{nope" in
+  Alcotest.(check string) "parse error" "parse_error" (expect_error bad);
+  Alcotest.(check bool) "id null" true (Json.equal Json.Null (response_id bad));
+  (* Valid JSON that is not a request object. *)
+  Alcotest.(check string) "invalid request" "invalid_request"
+    (expect_error (Engine.handle_line e "[1,2]"));
+  (* Unknown method echoes the (string) id. *)
+  let unk = Engine.handle_line e {|{"id":"x7","method":"frobnicate"}|} in
+  Alcotest.(check string) "unknown method" "unknown_method" (expect_error unk);
+  Alcotest.(check bool) "id echoed" true
+    (Json.equal (Json.Str "x7") (response_id unk));
+  (* Missing session. *)
+  let ghost =
+    Engine.handle_line e {|{"id":9,"method":"place","params":{"session":"g"}}|}
+  in
+  Alcotest.(check string) "unknown session" "unknown_session"
+    (expect_error ghost);
+  Alcotest.(check bool) "numeric id echoed" true
+    (Json.equal (Json.Num 9.0) (response_id ghost));
+  (* The engine survives all of the above. *)
+  ignore (expect_ok (Engine.handle_line e {|{"id":10,"method":"health"}|}));
+  (* The canned overlong response is a well-formed line_too_long error. *)
+  Alcotest.(check string) "overlong canned" "line_too_long"
+    (expect_error Engine.overlong_response);
+  Alcotest.(check bool) "overlong id null" true
+    (Json.equal Json.Null (response_id Engine.overlong_response))
+
+let test_engine_place_uses_cache () =
+  let e = eng () in
+  ignore (load e ());
+  let place () =
+    expect_ok
+      (Engine.handle_line e
+         {|{"id":1,"method":"place","params":{"session":"s","algo":"dp"}}|})
+  in
+  let first = place () in
+  let second = place () in
+  Alcotest.(check bool) "first place misses" false (bool_field first "cache_hit");
+  Alcotest.(check bool) "second place hits" true (bool_field second "cache_hit");
+  (* Same fabric, same workload: the answer must not depend on the cache. *)
+  let render r key = Json.to_string (Option.get (Json.member key r)) in
+  Alcotest.(check string) "same placement" (render first "placement")
+    (render second "placement");
+  Alcotest.(check string) "same cost" (render first "cost") (render second "cost");
+  let stats = expect_ok (Engine.handle_line e {|{"id":2,"method":"stats"}|}) in
+  match Json.member "cache" stats with
+  | Some cache -> (
+      match (Json.member "hits" cache, Json.member "entries" cache) with
+      | Some (Json.Num h), Some (Json.Num n) ->
+          Alcotest.(check bool) "stats report a hit" true (h >= 1.0);
+          Alcotest.(check bool) "one fabric cached" true
+            (Float.compare n 1.0 = 0)
+      | _ -> Alcotest.fail "stats.cache missing hits/entries")
+  | None -> Alcotest.fail "stats without cache section"
+
+let test_engine_migrate_flow () =
+  let e = eng () in
+  ignore (load e ());
+  (* Migration without a placement is a structured refusal. *)
+  Alcotest.(check string) "migrate before place" "invalid_params"
+    (expect_error
+       (Engine.handle_line e
+          {|{"id":1,"method":"migrate","params":{"session":"s"}}|}));
+  ignore
+    (expect_ok
+       (Engine.handle_line e
+          {|{"id":2,"method":"place","params":{"session":"s"}}|}));
+  ignore
+    (expect_ok
+       (Engine.handle_line e
+          {|{"id":3,"method":"rates_update","params":{"session":"s","seed":2}}|}));
+  let m =
+    expect_ok
+      (Engine.handle_line e
+         {|{"id":4,"method":"migrate","params":{"session":"s","algo":"mpareto","mu":100}}|})
+  in
+  Alcotest.(check string) "algo echoed" "mpareto" (str_field m "algo");
+  Alcotest.(check bool) "migrate reuses cached matrix" true
+    (bool_field m "cache_hit")
+
+let test_engine_fail_links_changes_digest () =
+  let e = eng () in
+  let loaded = load e ~k:4 () in
+  let before = str_field loaded "digest" in
+  let degraded =
+    expect_ok
+      (Engine.handle_line e
+         {|{"id":1,"method":"fail_links","params":{"session":"s","fraction":0.05,"seed":3}}|})
+  in
+  let after = str_field degraded "digest" in
+  Alcotest.(check bool) "digest changed" false (String.equal before after);
+  (* The degraded fabric is new to the cache: its first place misses. *)
+  let p =
+    expect_ok
+      (Engine.handle_line e
+         {|{"id":2,"method":"place","params":{"session":"s"}}|})
+  in
+  Alcotest.(check bool) "degraded fabric misses" false (bool_field p "cache_hit")
+
+let test_engine_invalid_params () =
+  let e = eng () in
+  ignore (load e ());
+  Alcotest.(check string) "bogus algo" "invalid_params"
+    (expect_error
+       (Engine.handle_line e
+          {|{"id":1,"method":"place","params":{"session":"s","algo":"bogus"}}|}));
+  Alcotest.(check string) "seed+scale both given" "invalid_params"
+    (expect_error
+       (Engine.handle_line e
+          {|{"id":2,"method":"rates_update","params":{"session":"s","seed":1,"scale":2.0}}|}));
+  (* Odd fat-tree arity is rejected by the builder; the engine turns
+     the exception into a structured error and keeps serving. *)
+  Alcotest.(check string) "odd k" "invalid_params"
+    (expect_error
+       (Engine.handle_line e
+          {|{"id":3,"method":"load_topology","params":{"session":"t","k":3}}|}));
+  ignore (expect_ok (Engine.handle_line e {|{"id":4,"method":"health"}|}))
+
+let test_engine_shutdown () =
+  let e = eng () in
+  ignore (expect_ok (Engine.handle_line e {|{"id":1,"method":"shutdown"}|}));
+  Alcotest.(check bool) "stopped" true (Engine.stopped e)
+
+(* --- stdio integration ------------------------------------------------ *)
+
+let find_binary () =
+  match Sys.getenv_opt "PPDC_BIN" with
+  | Some p -> p
+  | None ->
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/ppdc.exe"
+
+let test_stdio_protocol () =
+  let bin = find_binary () in
+  if not (Sys.file_exists bin) then
+    Alcotest.failf "ppdc binary not found at %s (set PPDC_BIN)" bin;
+  let from_server, to_server =
+    Unix.open_process_args bin
+      [| bin; "serve"; "--stdio"; "--max-line"; "4096" |]
+  in
+  let rpc line =
+    output_string to_server line;
+    output_char to_server '\n';
+    flush to_server;
+    input_line from_server
+  in
+  (* Every method answers over the wire. *)
+  ignore (expect_ok (rpc {|{"id":1,"method":"health"}|}));
+  ignore
+    (expect_ok
+       (rpc
+          {|{"id":2,"method":"load_topology","params":{"session":"s","k":4,"l":6,"n":3}}|}));
+  let p1 = expect_ok (rpc {|{"id":3,"method":"place","params":{"session":"s"}}|}) in
+  let p2 = expect_ok (rpc {|{"id":4,"method":"place","params":{"session":"s"}}|}) in
+  Alcotest.(check bool) "cold place misses" false (bool_field p1 "cache_hit");
+  Alcotest.(check bool) "warm place hits" true (bool_field p2 "cache_hit");
+  ignore
+    (expect_ok
+       (rpc
+          {|{"id":5,"method":"migrate","params":{"session":"s","algo":"mpareto","mu":100}}|}));
+  ignore
+    (expect_ok
+       (rpc
+          {|{"id":6,"method":"rates_update","params":{"session":"s","scale":1.5}}|}));
+  ignore
+    (expect_ok
+       (rpc
+          {|{"id":7,"method":"fail_links","params":{"session":"s","fraction":0.05}}|}));
+  ignore (expect_ok (rpc {|{"id":8,"method":"stats"}|}));
+  (* Malformed JSON: structured error, id null, server keeps serving. *)
+  let bad = rpc "{this is not json" in
+  Alcotest.(check string) "malformed line" "parse_error" (expect_error bad);
+  Alcotest.(check bool) "malformed id null" true
+    (Json.equal Json.Null (response_id bad));
+  (* Unknown method and missing session echo their ids. *)
+  let unk = rpc {|{"id":41,"method":"nope"}|} in
+  Alcotest.(check string) "unknown method" "unknown_method" (expect_error unk);
+  Alcotest.(check bool) "unknown method id" true
+    (Json.equal (Json.Num 41.0) (response_id unk));
+  let missing = rpc {|{"id":43,"method":"place","params":{"session":"nope"}}|} in
+  Alcotest.(check string) "missing session" "unknown_session"
+    (expect_error missing);
+  Alcotest.(check bool) "missing session id" true
+    (Json.equal (Json.Num 43.0) (response_id missing));
+  (* Oversized line: drained up to its newline, answered line_too_long
+     (the parser never saw the id, so it is null), stream resyncs. *)
+  let oversized =
+    Printf.sprintf {|{"id":44,"method":"health","params":{"pad":%S}}|}
+      (String.make 5000 'x')
+  in
+  let too_long = rpc oversized in
+  Alcotest.(check string) "oversized line" "line_too_long"
+    (expect_error too_long);
+  Alcotest.(check bool) "oversized id null" true
+    (Json.equal Json.Null (response_id too_long));
+  (* Still serving after every error above. *)
+  ignore (expect_ok (rpc {|{"id":45,"method":"health"}|}));
+  ignore (expect_ok (rpc {|{"id":46,"method":"shutdown"}|}));
+  match Unix.close_process (from_server, to_server) with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> Alcotest.failf "server exited with %d" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      Alcotest.failf "server killed by signal %d" s
+
+let () =
+  Alcotest.run "ppdc_server"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "health" `Quick test_engine_health;
+          Alcotest.test_case "errors echo the request id" `Quick
+            test_engine_errors_echo_id;
+          Alcotest.test_case "repeated place hits the matrix cache" `Quick
+            test_engine_place_uses_cache;
+          Alcotest.test_case "migrate lifecycle" `Quick test_engine_migrate_flow;
+          Alcotest.test_case "fail_links rekeys the cache" `Quick
+            test_engine_fail_links_changes_digest;
+          Alcotest.test_case "invalid params are contained" `Quick
+            test_engine_invalid_params;
+          Alcotest.test_case "shutdown" `Quick test_engine_shutdown;
+        ] );
+      ( "stdio",
+        [
+          Alcotest.test_case "full protocol over --stdio" `Quick
+            test_stdio_protocol;
+        ] );
+    ]

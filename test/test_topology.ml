@@ -15,6 +15,45 @@ let tiny_graph () =
     ~kinds:[| Switch; Switch; Switch; Host; Host |]
     ~edges:[ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 5.0); (0, 3, 1.0); (2, 4, 1.0) ]
 
+let tiny_edges = [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 5.0); (0, 3, 1.0); (2, 4, 1.0) ]
+let tiny_kinds () =
+  [| Graph.Switch; Graph.Switch; Graph.Switch; Graph.Host; Graph.Host |]
+
+let test_digest_edge_order_independent () =
+  let g1 = Graph.make ~kinds:(tiny_kinds ()) ~edges:tiny_edges in
+  let g2 = Graph.make ~kinds:(tiny_kinds ()) ~edges:(List.rev tiny_edges) in
+  let g3 =
+    Graph.make ~kinds:(tiny_kinds ())
+      ~edges:(List.map (fun (u, v, w) -> (v, u, w)) tiny_edges)
+  in
+  Alcotest.(check string) "reversed edge list" (Graph.digest g1)
+    (Graph.digest g2);
+  Alcotest.(check string) "flipped endpoints" (Graph.digest g1)
+    (Graph.digest g3);
+  Alcotest.(check string) "deterministic across builds" (Graph.digest g1)
+    (Graph.digest (Graph.make ~kinds:(tiny_kinds ()) ~edges:tiny_edges))
+
+let test_digest_sensitive_to_structure () =
+  let digest_with edges =
+    Graph.digest (Graph.make ~kinds:(tiny_kinds ()) ~edges)
+  in
+  let base = digest_with tiny_edges in
+  let heavier =
+    digest_with
+      (List.map
+         (fun (u, v, w) -> if u = 0 && v = 2 then (u, v, w +. 0.5) else (u, v, w))
+         tiny_edges)
+  in
+  let sparser =
+    digest_with (List.filter (fun (u, v, _) -> not (u = 0 && v = 2)) tiny_edges)
+  in
+  Alcotest.(check bool) "single weight edit changes digest" false
+    (String.equal base heavier);
+  Alcotest.(check bool) "edge removal changes digest" false
+    (String.equal base sparser);
+  Alcotest.(check bool) "weight edit and removal differ" false
+    (String.equal heavier sparser)
+
 let test_graph_counts () =
   let g = tiny_graph () in
   Alcotest.(check int) "nodes" 5 (Graph.num_nodes g);
@@ -329,6 +368,13 @@ let () =
           Alcotest.test_case "invalid inputs rejected" `Quick
             test_graph_rejections;
           Alcotest.test_case "map_weights" `Quick test_graph_map_weights;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "insertion-order independent" `Quick
+            test_digest_edge_order_independent;
+          Alcotest.test_case "structure-sensitive" `Quick
+            test_digest_sensitive_to_structure;
         ] );
       ( "fat-tree",
         [
