@@ -558,15 +558,19 @@ let max_line_arg =
     & info [ "max-line" ] ~docv:"BYTES" ~doc)
 
 let serve_cmd =
-  let run j socket stdio cache_capacity max_line metrics =
+  let run j socket stdio cache_capacity max_line max_pending request_timeout
+      metrics =
     apply_domains j;
     with_metrics metrics @@ fun () ->
     let engine = Ppdc_server.Engine.create ~cache_capacity () in
     match (stdio, socket) with
     | true, _ -> Ppdc_server.Transport.serve_stdio ~max_line engine
     | false, Some path ->
-        Printf.eprintf "ppdc: serving ppdc.rpc/1 on %s\n%!" path;
-        Ppdc_server.Transport.serve_unix ~max_line ~path engine;
+        let workers = Ppdc_prelude.Parallel.domain_count () in
+        Printf.eprintf "ppdc: serving ppdc.rpc/1 on %s (%d workers)\n%!" path
+          workers;
+        Ppdc_server.Transport.serve_unix ~max_line ~workers ~max_pending
+          ?request_timeout ~path engine;
         Printf.eprintf "ppdc: shutdown complete\n%!"
     | false, None ->
         Printf.eprintf "ppdc serve: pass --socket PATH or --stdio\n";
@@ -590,17 +594,43 @@ let serve_cmd =
     in
     Arg.(value & opt int 8 & info [ "cache" ] ~docv:"ENTRIES" ~doc)
   in
+  let max_pending_arg =
+    let doc =
+      "Connections allowed to wait for a worker beyond the ones being \
+       served. A connection arriving past this bound is answered with \
+       one structured $(i,overloaded) error and closed, instead of \
+       queueing without bound."
+    in
+    Arg.(
+      value
+      & opt int Ppdc_server.Transport.default_max_pending
+      & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let request_timeout_arg =
+    let doc =
+      "Per-request deadline in seconds (default: none). A request that \
+       could not start within this budget of its arrival — it spent \
+       the whole budget queued behind other work — is answered with a \
+       $(i,deadline_exceeded) error instead of running; a request \
+       whose handler already started always runs to completion."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECONDS" ~doc)
+  in
   let doc =
     "Run the long-lived placement/migration daemon (ppdc.rpc/1 over \
-     NDJSON)."
+     NDJSON). Connections are served concurrently by a pool of $(b,-j) \
+     worker domains with a bounded pending queue."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ domains_arg $ socket_arg $ stdio_arg $ cache_arg
-      $ max_line_arg $ metrics_arg)
+      $ max_line_arg $ max_pending_arg $ request_timeout_arg $ metrics_arg)
 
 let rpc_cmd =
-  let run socket requests =
+  let run socket timeout requests =
     let requests =
       match requests with
       | [] ->
@@ -625,7 +655,8 @@ let rpc_cmd =
       | _ | (exception Failure _) -> req
     in
     let responses =
-      Ppdc_server.Transport.call ~path:socket (List.mapi prepare requests)
+      Ppdc_server.Transport.call ?timeout ~path:socket
+        (List.mapi prepare requests)
     in
     List.iter print_endline responses
   in
@@ -636,6 +667,16 @@ let rpc_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH" ~doc)
   in
+  let timeout_arg =
+    let doc =
+      "Give up on a response after $(docv) seconds (default: wait \
+       forever) instead of hanging on a stalled daemon."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
   let requests_arg =
     let doc =
       "Requests to send, one JSON object each (reads NDJSON from stdin \
@@ -644,7 +685,8 @@ let rpc_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
   in
   let doc = "Send ppdc.rpc/1 requests to a running daemon and print the responses." in
-  Cmd.v (Cmd.info "rpc" ~doc) Term.(const run $ socket_arg $ requests_arg)
+  Cmd.v (Cmd.info "rpc" ~doc)
+    Term.(const run $ socket_arg $ timeout_arg $ requests_arg)
 
 let () =
   let doc = "traffic-optimal VNF placement and migration in dynamic PPDCs" in

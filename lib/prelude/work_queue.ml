@@ -1,0 +1,118 @@
+(* Bounded multi-producer/multi-worker job queue on domains.
+
+   One mutex guards all state; [work] wakes workers when a job arrives
+   or shutdown begins, [idle] wakes shutdown waiters when the last job
+   finishes. Workers drain the pending queue even after [shutdown] —
+   accepted jobs always run. *)
+
+type push_result = Accepted | Overloaded | Stopped
+
+type 'a t = {
+  run : 'a -> unit;
+  pending : 'a Queue.t;
+  max_pending : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* job pushed or shutdown began *)
+  idle : Condition.t;  (* accepted work fully drained *)
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable active : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable failures : int;
+  mutable workers : unit Domain.t array;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.pending && not t.stopping do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.pending then begin
+    (* stopping and nothing left: exit. *)
+    Mutex.unlock t.mutex;
+    ()
+  end
+  else begin
+    let job = Queue.pop t.pending in
+    t.active <- t.active + 1;
+    Mutex.unlock t.mutex;
+    let failed = match t.run job with () -> false | exception _ -> true in
+    Mutex.lock t.mutex;
+    t.active <- t.active - 1;
+    t.completed <- t.completed + 1;
+    if failed then t.failures <- t.failures + 1;
+    if t.active = 0 && Queue.is_empty t.pending then
+      Condition.broadcast t.idle;
+    Mutex.unlock t.mutex;
+    worker_loop t
+  end
+
+let create ~workers ~max_pending run =
+  if workers < 1 then
+    invalid_arg "Work_queue.create: need at least one worker";
+  if max_pending < 0 then
+    invalid_arg "Work_queue.create: max_pending must be >= 0";
+  let t =
+    {
+      run;
+      pending = Queue.create ();
+      max_pending;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      stopping = false;
+      joined = false;
+      active = 0;
+      rejected = 0;
+      completed = 0;
+      failures = 0;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let push t job =
+  locked t (fun () ->
+      if t.stopping then begin
+        t.rejected <- t.rejected + 1;
+        Stopped
+      end
+      else if Queue.length t.pending >= t.max_pending && t.active >= Array.length t.workers
+      then begin
+        t.rejected <- t.rejected + 1;
+        Overloaded
+      end
+      else begin
+        Queue.push job t.pending;
+        Condition.signal t.work;
+        Accepted
+      end)
+
+let depth t = locked t (fun () -> Queue.length t.pending)
+let active t = locked t (fun () -> t.active)
+let rejected t = locked t (fun () -> t.rejected)
+let completed t = locked t (fun () -> t.completed)
+let failures t = locked t (fun () -> t.failures)
+
+let shutdown t =
+  let join_here =
+    locked t (fun () ->
+        let first = not t.stopping in
+        t.stopping <- true;
+        Condition.broadcast t.work;
+        while t.active > 0 || not (Queue.is_empty t.pending) do
+          Condition.wait t.idle t.mutex
+        done;
+        if first && not t.joined then begin
+          t.joined <- true;
+          true
+        end
+        else false)
+  in
+  if join_here then Array.iter Domain.join t.workers

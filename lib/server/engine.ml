@@ -10,8 +10,24 @@ module Workload = Ppdc_traffic.Workload
 module Failures = Ppdc_extensions.Failures
 open Ppdc_core
 
+(* Concurrency model (see DESIGN.md §4e). Three locks, always taken in
+   this order and never the reverse:
+
+     registry_mutex  >  session.lock  >  cache_mutex
+
+   [registry_mutex] guards the session table, the request counters and
+   the load probe — held only for table lookups and counter bumps,
+   never across a handler. [session.lock] serializes the requests of
+   one session (two clients of the same session see a consistent
+   placement/rates/graph) while distinct sessions run in parallel on
+   the transport's worker pool. [cache_mutex] guards the shared
+   cost-matrix LRU, including building a missing matrix, so concurrent
+   misses for the same digest wait for one build instead of computing
+   it twice. *)
+
 type session = {
   k : int;
+  lock : Mutex.t;  (* serializes requests against this session *)
   mutable graph : Graph.t;
   mutable digest : string;
   mutable flows : Flow.t array;
@@ -21,28 +37,56 @@ type session = {
   mutable failed : (int * int) list;  (* all links failed so far *)
 }
 
+type method_stats = {
+  mutable calls : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+type load = {
+  workers : int;
+  active_connections : int;
+  queue_depth : int;
+  rejected_connections : int;
+}
+
 type t = {
   cache : (string, Cost_matrix.t) Lru.t;
+  cache_mutex : Mutex.t;
   sessions : (string, session) Hashtbl.t;
+  registry_mutex : Mutex.t;
   started : float;
-  by_method : (string, int ref) Hashtbl.t;
+  by_method : (string, method_stats) Hashtbl.t;
   mutable total_requests : int;
   mutable errors : int;
-  mutable stop : bool;
+  mutable deadline_errors : int;
+  mutable load_probe : (unit -> load) option;
+  stop : bool Atomic.t;
 }
 
 let create ?(cache_capacity = 8) () =
   {
     cache = Lru.create ~capacity:cache_capacity;
+    cache_mutex = Mutex.create ();
     sessions = Hashtbl.create 8;
+    registry_mutex = Mutex.create ();
     started = Unix.gettimeofday ();
     by_method = Hashtbl.create 16;
     total_requests = 0;
     errors = 0;
-    stop = false;
+    deadline_errors = 0;
+    load_probe = None;
+    stop = Atomic.make false;
   }
 
-let stopped t = t.stop
+let stopped t = Atomic.get t.stop
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let set_load_probe t probe =
+  locked t.registry_mutex (fun () -> t.load_probe <- Some probe)
 
 (* Handler-side failure: mapped to an error response by [handle_line]. *)
 exception Reject of Protocol.error_code * string
@@ -58,20 +102,31 @@ let placement_json (p : Placement.t) = Json.List (Array.to_list (Array.map num p
 
 (* --- session helpers ---------------------------------------------------- *)
 
-let get_session t params =
+(* Look the session up under the registry lock, then run [f] holding
+   only the session's own lock, so requests against distinct sessions
+   proceed in parallel while two against the same session serialize.
+   [load_topology] may replace the table entry meanwhile; the in-flight
+   request keeps operating on the record it resolved — the same
+   outcome as finishing just before the replacement. *)
+let with_session t params f =
   let name = Protocol.req_str_param params "session" in
-  match Hashtbl.find_opt t.sessions name with
-  | Some s -> (name, s)
+  match
+    locked t.registry_mutex (fun () -> Hashtbl.find_opt t.sessions name)
+  with
   | None -> reject Unknown_session "no session named %S; load_topology first" name
+  | Some s -> locked s.lock (fun () -> f s)
 
 (* Resolve the session's all-pairs matrix through the LRU: the single
    expensive step of every query, skipped whenever this fabric (by
-   structural digest) has been seen before. *)
+   structural digest) has been seen before. The build runs under
+   [cache_mutex], so a concurrent miss for the same fabric waits for
+   the first build instead of duplicating it. *)
 let resolve_cm t (s : session) =
   let hit, cm =
-    Lru.find_or_add t.cache s.digest (fun () ->
-        Obs.time "server.cost_matrix.compute" (fun () ->
-            Cost_matrix.compute s.graph))
+    locked t.cache_mutex (fun () ->
+        Lru.find_or_add t.cache s.digest (fun () ->
+            Obs.time "server.cost_matrix.compute" (fun () ->
+                Cost_matrix.compute s.graph)))
   in
   Obs.incr (if hit then "server.cache.hits" else "server.cache.misses");
   (hit, cm)
@@ -83,13 +138,16 @@ let problem_of t s =
 (* --- handlers ----------------------------------------------------------- *)
 
 let health t _params =
+  let sessions =
+    locked t.registry_mutex (fun () -> Hashtbl.length t.sessions)
+  in
   Json.Obj
     [
       ("status", Str "ok");
       ("schema", Str "ppdc.rpc/1");
       ("version", Str "1.0.0");
       ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
-      ("sessions", num (Hashtbl.length t.sessions));
+      ("sessions", num sessions);
     ]
 
 let load_topology t params =
@@ -121,10 +179,10 @@ let load_topology t params =
   let flows = Workload.generate_on_fat_tree ~rng ~l ft in
   let graph = ft.Fat_tree.graph in
   let digest = Graph.digest graph in
-  let replaced = Hashtbl.mem t.sessions name in
-  Hashtbl.replace t.sessions name
+  let session =
     {
       k;
+      lock = Mutex.create ();
       graph;
       digest;
       flows;
@@ -132,7 +190,15 @@ let load_topology t params =
       n;
       placement = None;
       failed = [];
-    };
+    }
+  in
+  let replaced =
+    locked t.registry_mutex (fun () ->
+        let replaced = Hashtbl.mem t.sessions name in
+        Hashtbl.replace t.sessions name session;
+        replaced)
+  in
+  let cached = locked t.cache_mutex (fun () -> Lru.mem t.cache digest) in
   Json.Obj
     [
       ("session", Str name);
@@ -144,7 +210,7 @@ let load_topology t params =
       ("flows", num (Array.length flows));
       ("n", num n);
       ("digest", Str digest);
-      ("cached_cost_matrix", Bool (Lru.mem t.cache digest));
+      ("cached_cost_matrix", Bool cached);
     ]
 
 (* Algo. 1 lifted to a whole-chain placement: greedy traffic-weighted
@@ -193,7 +259,7 @@ let primal_dual_place problem ~rates =
   end
 
 let place t params =
-  let _, s = get_session t params in
+  with_session t params @@ fun s ->
   let algo = Option.value ~default:"dp" (Protocol.str_param params "algo") in
   let budget = Protocol.int_param params "budget" in
   let pair_limit = Protocol.int_param params "pair_limit" in
@@ -239,7 +305,7 @@ let place t params =
     :: extra)
 
 let migrate t params =
-  let _, s = get_session t params in
+  with_session t params @@ fun s ->
   let algo =
     Option.value ~default:"mpareto" (Protocol.str_param params "algo")
   in
@@ -325,7 +391,7 @@ let migrate t params =
     :: fields)
 
 let rates_update t params =
-  let _, s = get_session t params in
+  with_session t params @@ fun s ->
   let explicit = Protocol.float_list_param params "rates" in
   let seed = Protocol.int_param params "seed" in
   let scale = Protocol.float_param params "scale" in
@@ -370,7 +436,7 @@ let rates_update t params =
     ]
 
 let fail_links t params =
-  let _, s = get_session t params in
+  with_session t params @@ fun s ->
   let fraction =
     match Protocol.float_param params "fraction" with
     | Some f -> f
@@ -383,6 +449,7 @@ let fail_links t params =
   s.graph <- degraded;
   s.digest <- Graph.digest degraded;
   s.failed <- s.failed @ failed;
+  let cached = locked t.cache_mutex (fun () -> Lru.mem t.cache s.digest) in
   Json.Obj
     [
       ("failed_count", num (List.length failed));
@@ -391,13 +458,33 @@ let fail_links t params =
           (List.map (fun (u, v) -> Json.List [ num u; num v ]) failed) );
       ("links", num (Graph.num_edges degraded));
       ("digest", Str s.digest);
-      ("cached_cost_matrix", Bool (Lru.mem t.cache s.digest));
+      ("cached_cost_matrix", Bool cached);
     ]
 
 let stats t _params =
+  (* Snapshot the registry under its lock, then render session fields
+     without taking the per-session locks: single mutable-field reads
+     are atomic in OCaml, and stats is a monitoring view — a request
+     racing it simply shows its before-or-after state. *)
+  let session_list, by_method, totals, probe =
+    locked t.registry_mutex (fun () ->
+        let sessions =
+          Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sessions []
+        in
+        let by_method =
+          Hashtbl.fold
+            (fun m st acc -> (m, (st.calls, st.total_s, st.max_s)) :: acc)
+            t.by_method []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        ( sessions,
+          by_method,
+          (t.total_requests, t.errors, t.deadline_errors),
+          t.load_probe ))
+  in
   let sessions =
-    Hashtbl.fold
-      (fun name (s : session) acc ->
+    List.map
+      (fun (name, (s : session)) ->
         Json.Obj
           [
             ("name", Str name);
@@ -409,38 +496,75 @@ let stats t _params =
             ("placed", Bool (Option.is_some s.placement));
             ("failed_links", num (List.length s.failed));
             ("digest", Str s.digest);
-          ]
-        :: acc)
-      t.sessions []
+          ])
+      session_list
   in
-  let by_method =
-    Hashtbl.fold (fun m r acc -> (m, num !r) :: acc) t.by_method []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let total_requests, errors, deadline_errors = totals in
+  let counts =
+    List.map (fun (m, (calls, _, _)) -> (m, num calls)) by_method
   in
-  Json.Obj
-    [
-      ("schema", Str "ppdc.rpc/1");
-      ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
-      ( "requests",
-        Json.Obj
-          [
-            ("total", num t.total_requests);
-            ("errors", num t.errors);
-            ("by_method", Json.Obj by_method);
-          ] );
-      ( "cache",
+  let latency =
+    List.map
+      (fun (m, (calls, total_s, max_s)) ->
+        ( m,
+          Json.Obj
+            [
+              ("count", num calls);
+              ("total_ms", fnum (1000.0 *. total_s));
+              ( "mean_ms",
+                fnum
+                  (if calls = 0 then 0.0
+                   else 1000.0 *. total_s /. float_of_int calls) );
+              ("max_ms", fnum (1000.0 *. max_s));
+            ] ))
+      by_method
+  in
+  let cache =
+    locked t.cache_mutex (fun () ->
         Json.Obj
           [
             ("capacity", num (Lru.capacity t.cache));
             ("entries", num (Lru.length t.cache));
             ("hits", num (Lru.hits t.cache));
             ("misses", num (Lru.misses t.cache));
-          ] );
-      ("sessions", Json.List sessions);
-    ]
+          ])
+  in
+  let server =
+    match probe with
+    | None -> []
+    | Some probe ->
+        let l = probe () in
+        [
+          ( "server",
+            Json.Obj
+              [
+                ("workers", num l.workers);
+                ("connections", Json.Obj [ ("active", num l.active_connections) ]);
+                ("queue", Json.Obj [ ("depth", num l.queue_depth) ]);
+                ("rejected", num l.rejected_connections);
+              ] );
+        ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str "ppdc.rpc/1");
+       ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
+       ( "requests",
+         Json.Obj
+           [
+             ("total", num total_requests);
+             ("errors", num errors);
+             ("deadline_exceeded", num deadline_errors);
+             ("by_method", Json.Obj counts);
+             ("latency_ms", Json.Obj latency);
+           ] );
+       ("cache", cache);
+     ]
+    @ server
+    @ [ ("sessions", Json.List sessions) ])
 
 let shutdown t _params =
-  t.stop <- true;
+  Atomic.set t.stop true;
   Json.Obj [ ("stopping", Bool true) ]
 
 (* --- dispatch ----------------------------------------------------------- *)
@@ -461,42 +585,71 @@ let dispatch t (req : Protocol.request) =
   Obs.time ("rpc." ^ req.meth) (fun () -> handler t req.params)
 
 let note_error t =
-  t.errors <- t.errors + 1;
+  locked t.registry_mutex (fun () -> t.errors <- t.errors + 1);
   Obs.incr "rpc.errors"
 
-let handle_line t line =
-  t.total_requests <- t.total_requests + 1;
+let record_latency t meth elapsed =
+  locked t.registry_mutex (fun () ->
+      let st =
+        match Hashtbl.find_opt t.by_method meth with
+        | Some st -> st
+        | None ->
+            let st = { calls = 0; total_s = 0.0; max_s = 0.0 } in
+            Hashtbl.add t.by_method meth st;
+            st
+      in
+      st.calls <- st.calls + 1;
+      st.total_s <- st.total_s +. elapsed;
+      if Float.compare elapsed st.max_s > 0 then st.max_s <- elapsed)
+
+let handle_line ?deadline t line =
+  locked t.registry_mutex (fun () ->
+      t.total_requests <- t.total_requests + 1);
   Obs.incr "rpc.requests";
   match Protocol.request_of_line line with
   | Error (code, msg) ->
       note_error t;
       Protocol.error_response ~id:Json.Null code msg
   | Ok req -> (
-      (let r =
-         match Hashtbl.find_opt t.by_method req.meth with
-         | Some r -> r
-         | None ->
-             let r = ref 0 in
-             Hashtbl.add t.by_method req.meth r;
-             r
-       in
-       r := !r + 1);
-      match dispatch t req with
-      | result -> Protocol.ok_response ~id:req.id result
-      | exception Reject (code, msg) ->
-          note_error t;
-          Protocol.error_response ~id:req.id code msg
-      | exception Protocol.Bad_params msg ->
-          note_error t;
-          Protocol.error_response ~id:req.id Invalid_params msg
-      | exception Invalid_argument msg ->
-          note_error t;
-          Protocol.error_response ~id:req.id Invalid_params msg
-      | exception exn ->
-          note_error t;
-          Protocol.error_response ~id:req.id Internal_error
-            (Printexc.to_string exn))
+      match deadline with
+      | Some d when Float.compare (Unix.gettimeofday ()) d > 0 ->
+          (* The request spent its whole time budget queued; answer
+             without starting the handler so the worker moves on. *)
+          locked t.registry_mutex (fun () ->
+              t.errors <- t.errors + 1;
+              t.deadline_errors <- t.deadline_errors + 1);
+          Obs.incr "rpc.errors";
+          Obs.incr "rpc.deadline_exceeded";
+          Protocol.error_response ~id:req.id Deadline_exceeded
+            "request deadline expired before the handler could start"
+      | _ -> (
+          let t0 = Unix.gettimeofday () in
+          let finish response =
+            record_latency t req.meth (Unix.gettimeofday () -. t0);
+            response
+          in
+          match dispatch t req with
+          | result -> finish (Protocol.ok_response ~id:req.id result)
+          | exception Reject (code, msg) ->
+              note_error t;
+              finish (Protocol.error_response ~id:req.id code msg)
+          | exception Protocol.Bad_params msg ->
+              note_error t;
+              finish (Protocol.error_response ~id:req.id Invalid_params msg)
+          | exception Invalid_argument msg ->
+              note_error t;
+              finish (Protocol.error_response ~id:req.id Invalid_params msg)
+          | exception exn ->
+              note_error t;
+              finish
+                (Protocol.error_response ~id:req.id Internal_error
+                   (Printexc.to_string exn))))
 
 let overlong_response =
   Protocol.error_response ~id:Json.Null Line_too_long
     "request line exceeds the transport's maximum length"
+
+let overloaded_response =
+  Protocol.error_response ~id:Json.Null Overloaded
+    "server is overloaded (worker pool and pending queue are full); retry \
+     later"

@@ -8,21 +8,34 @@
     descriptor, which is what makes the full protocol drivable from a
     unit test.
 
+    {b Thread safety.} {!handle_line} may be called concurrently from
+    any number of domains — the socket transport runs one call per
+    worker. Internally (DESIGN.md §4e): the session table and request
+    counters live under a registry mutex held only for lookups and
+    bumps; each session carries its own lock, so two requests against
+    the same session serialize while distinct sessions run in
+    parallel; and the shared cost-matrix LRU has a dedicated mutex
+    under which missing matrices are also built, so concurrent misses
+    for one fabric wait for a single build. Lock order is always
+    registry > session > cache. Solver outputs are bit-identical to a
+    sequential run: handlers are deterministic given the session state
+    they serialized on, and the {!Ppdc_prelude.Parallel} sections they
+    use are schedule-independent by contract.
+
     The cost-matrix cache is the server's point: [load_topology] and
     [fail_links] are cheap (no all-pairs recompute), and each
     [place]/[migrate] resolves its matrix through the cache, so a warm
     query against a fabric the server has seen — including a
     previously seen degraded fabric, whose digest is remembered —
-    skips the Θ(|V|²·log|V|) Dijkstra sweep entirely. Handlers run the
-    existing solver stack, so heavy requests fan out onto the
-    {!Ppdc_prelude.Parallel} domain pool exactly as the batch CLI
-    does.
+    skips the Θ(|V|²·log|V|) Dijkstra sweep entirely.
 
     Every request is counted and timed under an [Obs] span
     ([rpc.<method>]); cache traffic shows up as
-    [server.cache.hits]/[server.cache.misses]. A malformed or failing
-    request produces a structured error response and leaves the engine
-    serving — no handler exception escapes {!handle_line}.
+    [server.cache.hits]/[server.cache.misses], and per-method latency
+    is also aggregated into the [stats] result ([requests.latency_ms]).
+    A malformed or failing request produces a structured error
+    response and leaves the engine serving — no handler exception
+    escapes {!handle_line}.
 
     Methods: [health], [load_topology], [place] (primal_dual / dp /
     optimal / steering / greedy), [migrate] (mpareto / optimal / plan /
@@ -35,15 +48,41 @@ val create : ?cache_capacity:int -> unit -> t
 (** Fresh engine with no sessions. [cache_capacity] (default 8) bounds
     the cost-matrix LRU. Raises [Invalid_argument] if it is < 1. *)
 
-val handle_line : t -> string -> string
+val handle_line : ?deadline:float -> t -> string -> string
 (** Answer one request line with one response line (no trailing
     newline). Total: parse errors, unknown methods, bad parameters and
-    handler exceptions all come back as [ok: false] responses. *)
+    handler exceptions all come back as [ok: false] responses.
+
+    [deadline] is an absolute [Unix.gettimeofday] instant: if it has
+    already passed when the request is about to dispatch, the handler
+    is never started and the response is a [deadline_exceeded] error
+    (id echoed). A request whose handler has begun always runs to
+    completion — solvers are not preemptible — so the deadline is
+    admission control against queueing delay, not an execution
+    timeout. *)
+
+type load = {
+  workers : int;
+  active_connections : int;
+  queue_depth : int;
+  rejected_connections : int;
+}
+(** Transport-side load gauges surfaced through the [stats] method. *)
+
+val set_load_probe : t -> (unit -> load) -> unit
+(** Install the transport's gauge snapshot; [stats] then includes a
+    [server] section. Without a probe (e.g. [--stdio]) the section is
+    omitted. *)
 
 val overlong_response : string
 (** The [line_too_long] error line a transport answers with when a
     request line exceeded its bound (the engine never sees the line,
     so the id is [null]). *)
+
+val overloaded_response : string
+(** The [overloaded] error line the socket transport writes to a
+    connection it rejects because the worker pool and its pending
+    queue are full (no request was read, so the id is [null]). *)
 
 val stopped : t -> bool
 (** True once a [shutdown] request has been answered; transports

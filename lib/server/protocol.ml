@@ -7,6 +7,8 @@ type error_code =
   | Unknown_method
   | Unknown_session
   | Invalid_params
+  | Overloaded
+  | Deadline_exceeded
   | Internal_error
 
 let code_slug = function
@@ -16,6 +18,8 @@ let code_slug = function
   | Unknown_method -> "unknown_method"
   | Unknown_session -> "unknown_session"
   | Invalid_params -> "invalid_params"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
   | Internal_error -> "internal_error"
 
 type request = { id : Json.t; meth : string; params : Json.t }

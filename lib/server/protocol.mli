@@ -29,6 +29,12 @@ type error_code =
   | Unknown_method
   | Unknown_session  (** the named session does not exist *)
   | Invalid_params  (** missing/ill-typed parameter, infeasible value *)
+  | Overloaded
+      (** worker pool and pending queue full — the connection was
+          rejected at accept time; retry later *)
+  | Deadline_exceeded
+      (** the request could not start within [--request-timeout] of its
+          arrival (it spent the whole budget queued) *)
   | Internal_error  (** handler raised; the message carries details *)
 
 val code_slug : error_code -> string

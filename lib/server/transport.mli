@@ -2,34 +2,85 @@
 
     Two server transports share one line loop: [--stdio] (requests on
     stdin, responses on stdout — what tests and CI drive) and a
-    Unix-domain socket daemon. Both isolate failures per connection:
-    an oversized line is consumed up to its newline and answered with
-    a [line_too_long] error, a mid-line disconnect abandons only that
-    connection, and [SIGPIPE] is ignored so a client vanishing between
-    request and response never kills the daemon. *)
+    Unix-domain socket daemon whose accept loop hands each connection
+    to a bounded {!Ppdc_prelude.Work_queue} worker pool, so one slow
+    request no longer starves every other client. Both isolate
+    failures per connection: an oversized line is consumed up to its
+    newline and answered with a [line_too_long] error, a mid-line
+    disconnect abandons only that connection, and [SIGPIPE] is ignored
+    so a client vanishing between request and response never kills the
+    daemon. Overload is explicit: a connection that arrives while
+    every worker is busy and the pending queue is full is answered
+    with one structured [overloaded] error line and closed — never
+    silently queued without bound, never silently dropped. *)
 
 val default_max_line : int
 (** Longest accepted request line in bytes (1 MiB). Longer lines are
     drained and answered with {!Engine.overlong_response}. *)
 
+val default_max_pending : int
+(** Connections allowed to wait for a worker beyond the ones being
+    served (64). *)
+
 val serve_channel :
-  ?max_line:int -> Engine.t -> in_channel -> out_channel -> unit
+  ?max_line:int ->
+  ?request_timeout:float ->
+  ?first_arrival:float ->
+  Engine.t ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Serve one connection: read request lines, write response lines
     (flushed after each), until EOF or the engine is {!Engine.stopped}
-    by a [shutdown] request. Blank lines are ignored. *)
+    by a [shutdown] request. Blank lines are ignored.
+
+    [request_timeout] (seconds) enables per-request deadlines: a
+    request that could not start within the budget of its arrival is
+    answered with a [deadline_exceeded] error instead of running its
+    handler (see {!Engine.handle_line}). [first_arrival] is the
+    absolute time the connection was accepted — when the gap between
+    it and this call (the time spent queued for a worker) already
+    exceeds [request_timeout], the connection's first request is
+    answered [deadline_exceeded]. *)
 
 val serve_stdio : ?max_line:int -> Engine.t -> unit
 (** [serve_channel] over stdin/stdout. *)
 
-val serve_unix : ?max_line:int -> path:string -> Engine.t -> unit
+val serve_unix :
+  ?max_line:int ->
+  ?workers:int ->
+  ?max_pending:int ->
+  ?request_timeout:float ->
+  ?on_ready:(unit -> unit) ->
+  path:string ->
+  Engine.t ->
+  unit
 (** Listen on a Unix-domain socket at [path] (an existing socket file
     there is replaced; any other kind of file raises
-    [Invalid_argument]) and serve connections sequentially until a
-    [shutdown] request. Connection-level I/O errors are contained;
-    the socket file is removed on return. *)
+    [Invalid_argument]) and serve until a [shutdown] request.
 
-val call : path:string -> string list -> string list
+    Connections are handed to a pool of [workers] domains (default
+    {!Ppdc_prelude.Parallel.domain_count}, i.e. the CLI [-j] /
+    [PPDC_DOMAINS] setting) over a pending queue bounded by
+    [max_pending] (default {!default_max_pending}); a connection
+    rejected by the full queue is answered with
+    {!Engine.overloaded_response} and closed. [request_timeout] is
+    passed to each connection's {!serve_channel}. [on_ready] runs once
+    the socket is bound and listening, before the first accept —
+    tests use it instead of polling the filesystem.
+
+    Shutdown is graceful: once a worker answers [shutdown], the accept
+    loop stops accepting (within its 50 ms poll tick), every accepted
+    connection finishes its in-flight request, and the call returns.
+    Connection-level I/O errors are contained; the socket file is
+    removed on every exit path, including an exception out of the
+    accept loop. *)
+
+val call : ?timeout:float -> path:string -> string list -> string list
 (** Client side: connect to the daemon at [path], send each request
     line in order, and return the response line each received —
-    lock-step, over a single connection. Raises [Unix.Unix_error] if
-    the daemon is unreachable and [Failure] if it hangs up early. *)
+    lock-step, over a single connection. [timeout] (seconds) bounds
+    the wait for each response; on expiry the call raises [Failure]
+    with a message containing ["timed out"], distinguishable from the
+    [Failure] raised when the daemon hangs up early. Raises
+    [Unix.Unix_error] if the daemon is unreachable. *)

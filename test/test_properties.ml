@@ -338,6 +338,128 @@ let prop_replication_never_hurts =
         !ok
       end)
 
+(* --- differential oracles ------------------------------------------------------ *)
+
+(* The paper's approximation guarantee, as a testable bound: on metric
+   cost matrices (all-pairs shortest paths always are) the stroll DP is
+   a 2-approximation, and the pair scan preserves the factor, so the
+   whole-chain DP never lands below the optimum and never beyond twice
+   it. *)
+let prop_dp_paper_factor_two =
+  property ~count:40 "paper bound: Optimal <= DP <= 2·Optimal" (fun seed ->
+      let problem, rates, _ = random_problem seed in
+      let dp = (Placement_dp.solve problem ~rates ()).cost in
+      let opt = Placement_opt.solve problem ~rates () in
+      opt.cost <= dp +. (1e-6 *. Float.max 1.0 dp)
+      && ((not opt.proven_optimal)
+         || dp <= (2.0 *. opt.cost) +. (1e-6 *. Float.max 1.0 dp)))
+
+let prop_mpareto_bounded_below_by_tom =
+  property ~count:40 "mPareto total cost is never below Optimal-TOM's"
+    (fun seed ->
+      let problem, _, rng = random_problem seed in
+      let current = Placement.random ~rng problem in
+      let rates = Workload.redraw_rates ~rng (Problem.flows problem) in
+      let mu = Rng.float rng 500.0 in
+      let mp = Mpareto.migrate problem ~rates ~mu ~current () in
+      let tom =
+        Migration_opt.solve problem ~rates ~mu ~current
+          ~incumbent:mp.migration ()
+      in
+      tom.cost <= mp.total_cost +. 1e-6)
+
+(* Engine-vs-library differential: drive the full RPC conversation
+   (load → place optimal → place dp → rates_update → migrate) through
+   [Engine.handle_line] and replay the engine's documented construction
+   through the library API. Agreement must be exact — same floats, same
+   switches — because the engine is a thin shell over these very
+   functions; any drift means the RPC layer computes something else
+   than the paper code. *)
+module Engine = Ppdc_server.Engine
+module Json = Ppdc_prelude.Json
+
+let rpc engine line =
+  let j = Json.parse (Engine.handle_line engine line) in
+  match (Json.member "ok" j, Json.member "result" j) with
+  | Some (Json.Bool true), Some r -> r
+  | _ -> QCheck.Test.fail_reportf "rpc request failed: %s" (Json.to_string j)
+
+let jnum field j =
+  match Json.member field j with
+  | Some (Json.Num x) -> x
+  | _ ->
+      QCheck.Test.fail_reportf "missing numeric %S in %s" field
+        (Json.to_string j)
+
+let jplacement j =
+  match Json.member "placement" j with
+  | Some (Json.List xs) ->
+      Array.of_list
+        (List.map
+           (function
+             | Json.Num x -> int_of_float x
+             | _ -> QCheck.Test.fail_reportf "non-numeric placement entry")
+           xs)
+  | _ ->
+      QCheck.Test.fail_reportf "missing placement in %s" (Json.to_string j)
+
+let same_float a b = Float.compare a b = 0
+
+let prop_engine_matches_library =
+  property ~count:12 "RPC engine agrees exactly with the library API"
+    (fun seed ->
+      let k = 4 and l = 4 + (seed mod 5) and n = 2 + (seed mod 3) in
+      let mu = 100.0 in
+      (* Engine side: one session, the documented request sequence. *)
+      let engine = Engine.create () in
+      let req fmt = Printf.ksprintf (rpc engine) fmt in
+      ignore
+        (req
+           {|{"id":1,"method":"load_topology","params":{"session":"d","k":%d,"l":%d,"n":%d,"seed":%d}}|}
+           k l n seed);
+      let e_opt =
+        req {|{"id":2,"method":"place","params":{"session":"d","algo":"optimal"}}|}
+      in
+      let e_dp =
+        req {|{"id":3,"method":"place","params":{"session":"d","algo":"dp"}}|}
+      in
+      ignore
+        (req
+           {|{"id":4,"method":"rates_update","params":{"session":"d","seed":%d}}|}
+           (seed + 1));
+      let e_mig =
+        req
+          {|{"id":5,"method":"migrate","params":{"session":"d","algo":"mpareto","mu":%g}}|}
+          mu
+      in
+      (* Library side: the same instance built the way the engine
+         documents building it. *)
+      let rng = Rng.create seed in
+      let ft = Fat_tree.build k in
+      let flows = Workload.generate_on_fat_tree ~rng ~l ft in
+      let problem =
+        Problem.make ~cm:(Cost_matrix.compute ft.Fat_tree.graph) ~flows ~n ()
+      in
+      let rates = Flow.base_rates flows in
+      let opt = Placement_opt.solve problem ~rates () in
+      let dp = Placement_dp.solve problem ~rates () in
+      let rates' = Workload.redraw_rates ~rng:(Rng.create (seed + 1)) flows in
+      (* The engine applied place dp last, so its session placement —
+         the migration's starting point — is dp's. *)
+      let mp =
+        Mpareto.migrate problem ~rates:rates' ~mu ~current:dp.placement ()
+      in
+      jplacement e_opt = opt.placement
+      && same_float (jnum "cost" e_opt) opt.cost
+      && jplacement e_dp = dp.placement
+      && same_float (jnum "cost" e_dp) dp.cost
+      && jplacement e_mig = mp.migration
+      && same_float (jnum "migration_cost" e_mig) mp.migration_cost
+      && same_float (jnum "comm_cost" e_mig) mp.comm_cost
+      && same_float (jnum "total_cost" e_mig) mp.total_cost
+      && jnum "moved" e_mig
+         = float_of_int (Cost.moved ~src:dp.placement ~dst:mp.migration))
+
 let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
@@ -371,4 +493,10 @@ let () =
       qsuite "traces" [ prop_trace_roundtrip; prop_trace_diurnal_consistent ];
       qsuite "extensions"
         [ prop_capacity_monotone; prop_replication_never_hurts ];
+      qsuite "differential"
+        [
+          prop_dp_paper_factor_two;
+          prop_mpareto_bounded_below_by_tom;
+          prop_engine_matches_library;
+        ];
     ]

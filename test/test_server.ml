@@ -182,6 +182,199 @@ let test_engine_shutdown () =
   ignore (expect_ok (Engine.handle_line e {|{"id":1,"method":"shutdown"}|}));
   Alcotest.(check bool) "stopped" true (Engine.stopped e)
 
+let test_engine_deadline () =
+  let e = eng () in
+  (* An already-expired deadline: the handler never starts, the error
+     echoes the id, and the engine keeps serving. *)
+  let late =
+    Engine.handle_line ~deadline:(Unix.gettimeofday () -. 1.0) e
+      {|{"id":"d1","method":"health"}|}
+  in
+  Alcotest.(check string) "deadline code" "deadline_exceeded"
+    (expect_error late);
+  Alcotest.(check bool) "deadline id echoed" true
+    (Json.equal (Json.Str "d1") (response_id late));
+  (* A generous deadline changes nothing. *)
+  ignore
+    (expect_ok
+       (Engine.handle_line ~deadline:(Unix.gettimeofday () +. 60.0) e
+          {|{"id":"d2","method":"health"}|}));
+  let stats = expect_ok (Engine.handle_line e {|{"id":"d3","method":"stats"}|}) in
+  match Json.member "requests" stats with
+  | Some req -> (
+      match Json.member "deadline_exceeded" req with
+      | Some (Json.Num n) ->
+          Alcotest.(check bool) "one deadline miss counted" true
+            (Float.compare n 1.0 = 0)
+      | _ -> Alcotest.fail "stats without deadline_exceeded counter")
+  | None -> Alcotest.fail "stats without requests section"
+
+let test_engine_overloaded_response () =
+  (* The canned rejection the socket transport writes before it ever
+     reads a request: well-formed, code overloaded, id null. *)
+  Alcotest.(check string) "overloaded canned" "overloaded"
+    (expect_error Engine.overloaded_response);
+  Alcotest.(check bool) "overloaded id null" true
+    (Json.equal Json.Null (response_id Engine.overloaded_response))
+
+(* --- protocol fuzzing -------------------------------------------------- *)
+
+(* Random request lines: valid templates, truncated JSON, arbitrary
+   bytes (NULs included), and lines far beyond the transport's bound.
+   Newlines are scrubbed (the protocol frames by line; we fuzz line
+   contents) and anything containing "shutdown" is skipped so [stopped]
+   may only flip when a test means it to. *)
+let fuzz_line_gen =
+  let open QCheck.Gen in
+  let scrub s =
+    String.map (fun c -> if Char.equal c '\n' then ' ' else c) s
+  in
+  let template =
+    oneofl
+      [
+        {|{"id":1,"method":"health"}|};
+        {|{"id":"z","method":"stats"}|};
+        {|{"id":2,"method":"place","params":{"session":"fz"}}|};
+        {|{"id":3,"method":"load_topology","params":{"session":"fz","k":4,"l":3,"n":2}}|};
+        {|{"id":4,"method":"rates_update","params":{"session":"fz","scale":2}}|};
+        {|{"method":"health"}|};
+        {|{"id":null,"method":"migrate","params":{"session":"fz"}}|};
+        {|{"id":[1,2],"method":true}|};
+        "[]";
+        "null";
+      ]
+  in
+  let truncated =
+    map2
+      (fun t k -> String.sub t 0 (min k (String.length t)))
+      template (int_bound 40)
+  in
+  let junk =
+    map scrub (string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 64))
+  in
+  let huge =
+    map (fun c -> String.make 2000 (Char.chr (32 + (c mod 90)))) (int_bound 255)
+  in
+  frequency [ (3, template); (2, truncated); (3, junk); (1, huge) ]
+
+let fuzz_lines =
+  QCheck.make
+    ~print:(fun ls -> String.concat " | " (List.map (Printf.sprintf "%S") ls))
+    QCheck.Gen.(list_size (int_range 1 20) fuzz_line_gen)
+
+let skip_line l =
+  let needle = "shutdown" in
+  let nl = String.length needle and n = String.length l in
+  let rec find i =
+    i + nl <= n && (String.equal (String.sub l i nl) needle || find (i + 1))
+  in
+  find 0
+
+let is_response line =
+  match Json.parse line with
+  | exception Failure _ -> false
+  | j -> ( match Json.member "ok" j with Some (Json.Bool _) -> true | _ -> false)
+
+let prop_engine_fuzz =
+  QCheck.Test.make ~count:300
+    ~name:"handle_line is total: one well-formed line, never raises or stops"
+    fuzz_lines
+    (fun lines ->
+      let e = eng () in
+      List.iter
+        (fun line ->
+          if not (skip_line line) then begin
+            let resp =
+              try Engine.handle_line e line
+              with exn ->
+                QCheck.Test.fail_reportf "handle_line raised %s on %S"
+                  (Printexc.to_string exn) line
+            in
+            if String.contains resp '\n' then
+              QCheck.Test.fail_reportf "embedded newline in response to %S" line;
+            if not (is_response resp) then
+              QCheck.Test.fail_reportf "malformed response %S to %S" resp line;
+            if Engine.stopped e then
+              QCheck.Test.fail_reportf "%S stopped the engine" line
+          end)
+        lines;
+      (* Still serving after the whole barrage. *)
+      ignore (expect_ok (Engine.handle_line e {|{"id":"after","method":"health"}|}));
+      true)
+
+(* The same barrage through the transport's line loop: every non-blank
+   input line gets exactly one response line, oversized ones included
+   (answered [line_too_long] after resync). *)
+let run_serve_channel lines =
+  let in_path = Filename.temp_file "ppdc-fuzz" ".in" in
+  let out_path = Filename.temp_file "ppdc-fuzz" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ in_path; out_path ])
+    (fun () ->
+      let oc0 = open_out_bin in_path in
+      List.iter
+        (fun l ->
+          output_string oc0 l;
+          output_char oc0 '\n')
+        lines;
+      close_out oc0;
+      let e = eng () in
+      let ic = open_in_bin in_path and oc = open_out_bin out_path in
+      Ppdc_server.Transport.serve_channel ~max_line:256 e ic oc;
+      close_in ic;
+      close_out oc;
+      let ic2 = open_in_bin out_path in
+      let responses = ref [] in
+      (try
+         while true do
+           responses := input_line ic2 :: !responses
+         done
+       with End_of_file -> ());
+      close_in ic2;
+      (e, List.rev !responses))
+
+let prop_serve_channel_fuzz =
+  QCheck.Test.make ~count:150
+    ~name:"serve_channel: one response line per non-blank request line"
+    fuzz_lines
+    (fun lines ->
+      let lines = List.filter (fun l -> not (skip_line l)) lines in
+      let e, responses = run_serve_channel lines in
+      (* A line past the 256-byte bound is always answered (line_too_long),
+         even when it would otherwise trim to blank; within the bound,
+         blank lines are skipped. *)
+      let answered l = String.length l > 256 || String.trim l <> "" in
+      let expected = List.length (List.filter answered lines) in
+      if List.length responses <> expected then
+        QCheck.Test.fail_reportf "%d responses to %d non-blank lines"
+          (List.length responses) expected;
+      List.iter
+        (fun r ->
+          if not (is_response r) then
+            QCheck.Test.fail_reportf "malformed response line %S" r)
+        responses;
+      if Engine.stopped e then
+        QCheck.Test.fail_reportf "fuzz input stopped the engine";
+      true)
+
+let test_serve_channel_shutdown_stops () =
+  (* [stopped] flips exactly on a real shutdown: the loop answers it,
+     stops reading, and later lines are never served. *)
+  let e, responses =
+    run_serve_channel
+      [
+        {|{"id":1,"method":"health"}|};
+        {|{"id":2,"method":"shutdown"}|};
+        {|{"id":3,"method":"health"}|};
+      ]
+  in
+  Alcotest.(check int) "served up to shutdown only" 2 (List.length responses);
+  List.iter (fun r -> ignore (expect_ok r)) responses;
+  Alcotest.(check bool) "stopped" true (Engine.stopped e)
+
 (* --- stdio integration ------------------------------------------------ *)
 
 let find_binary () =
@@ -280,6 +473,17 @@ let () =
           Alcotest.test_case "invalid params are contained" `Quick
             test_engine_invalid_params;
           Alcotest.test_case "shutdown" `Quick test_engine_shutdown;
+          Alcotest.test_case "expired deadline is admission control" `Quick
+            test_engine_deadline;
+          Alcotest.test_case "canned overloaded response" `Quick
+            test_engine_overloaded_response;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_engine_fuzz;
+          QCheck_alcotest.to_alcotest prop_serve_channel_fuzz;
+          Alcotest.test_case "stopped flips only on real shutdown" `Quick
+            test_serve_channel_shutdown_stops;
         ] );
       ( "stdio",
         [

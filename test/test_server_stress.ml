@@ -1,0 +1,395 @@
+(* Stress and regression tests for the concurrent ppdc.rpc/1 daemon:
+   parallel clients against one server (id echo, no interleaving
+   corruption, results identical to sequential execution, counters),
+   explicit overload rejection, queue-wait deadlines, socket-file
+   cleanup on an accept-loop exception, and the client-side response
+   timeout against a deliberately stalled server. *)
+
+module Json = Ppdc_prelude.Json
+module Obs = Ppdc_prelude.Obs
+module Engine = Ppdc_server.Engine
+module Transport = Ppdc_server.Transport
+
+(* --- response helpers ------------------------------------------------- *)
+
+let response_id line =
+  match Json.member "id" (Json.parse line) with
+  | Some v -> v
+  | None -> Alcotest.failf "response without id: %s" line
+
+let expect_ok line =
+  let j = Json.parse line in
+  match (Json.member "ok" j, Json.member "result" j) with
+  | Some (Json.Bool true), Some r -> r
+  | _ -> Alcotest.failf "expected ok response, got: %s" line
+
+let expect_error line =
+  let j = Json.parse line in
+  match (Json.member "ok" j, Json.member "error" j) with
+  | Some (Json.Bool false), Some err -> (
+      match Json.member "code" err with
+      | Some (Json.Str code) -> code
+      | _ -> Alcotest.failf "error without code: %s" line)
+  | _ -> Alcotest.failf "expected error response, got: %s" line
+
+let num_field j key =
+  match Json.member key j with
+  | Some (Json.Num n) -> n
+  | _ -> Alcotest.failf "expected numeric field %s in %s" key (Json.to_string j)
+
+let member_exn j key =
+  match Json.member key j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s in %s" key (Json.to_string j)
+
+(* --- server / raw-socket harness -------------------------------------- *)
+
+let sock_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ppdc-%d-%s.sock" (Unix.getpid ()) name)
+
+(* Boot a daemon in its own domain, wait for the listener (on_ready),
+   and guarantee shutdown + join however the test body exits. *)
+let with_server ?workers ?max_pending ?request_timeout name f =
+  let path = sock_path name in
+  (try Sys.remove path with Sys_error _ -> ());
+  let engine = Engine.create ~cache_capacity:4 () in
+  let ready = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Transport.serve_unix ?workers ?max_pending ?request_timeout
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~path engine)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (not (Atomic.get ready))
+    && Float.compare (Unix.gettimeofday ()) deadline < 0
+  do
+    Unix.sleepf 0.005
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "server never became ready";
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         ignore
+           (Transport.call ~timeout:5.0 ~path
+              [ {|{"id":"bye","method":"shutdown"}|} ])
+       with _ -> ());
+      Domain.join srv)
+    (fun () -> f path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let send_line fd line =
+  let data = line ^ "\n" in
+  ignore (Unix.write_substring fd data 0 (String.length data))
+
+let recv_line ?(timeout = 10.0) fd =
+  let buf = Buffer.create 128 in
+  let b = Bytes.create 1 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if Float.compare remaining 0.0 <= 0 then
+      Alcotest.failf "recv_line: no line within %gs (got %S)" timeout
+        (Buffer.contents buf);
+    match Unix.select [ fd ] [] [] remaining with
+    | [], _, _ ->
+        Alcotest.failf "recv_line: no line within %gs (got %S)" timeout
+          (Buffer.contents buf)
+    | _ -> (
+        match Unix.read fd b 0 1 with
+        | 0 ->
+            Alcotest.failf "recv_line: connection closed (got %S)"
+              (Buffer.contents buf)
+        | _ ->
+            if Char.equal (Bytes.get b 0) '\n' then Buffer.contents buf
+            else begin
+              Buffer.add_char buf (Bytes.get b 0);
+              go ()
+            end)
+  in
+  go ()
+
+(* --- concurrent clients ----------------------------------------------- *)
+
+let num_clients = 4
+
+(* One client's conversation: its own session, interleaved methods,
+   every request carrying a unique string id. *)
+let client_requests i =
+  let s = Printf.sprintf "c%d" i in
+  [
+    ( Printf.sprintf "%s-load" s,
+      Printf.sprintf
+        {|{"id":"%s-load","method":"load_topology","params":{"session":"%s","k":4,"l":6,"n":3,"seed":%d}}|}
+        s s (i + 1) );
+    ( Printf.sprintf "%s-p1" s,
+      Printf.sprintf
+        {|{"id":"%s-p1","method":"place","params":{"session":"%s","algo":"dp"}}|}
+        s s );
+    ( Printf.sprintf "%s-r" s,
+      Printf.sprintf
+        {|{"id":"%s-r","method":"rates_update","params":{"session":"%s","seed":%d}}|}
+        s s (100 + i) );
+    ( Printf.sprintf "%s-m" s,
+      Printf.sprintf
+        {|{"id":"%s-m","method":"migrate","params":{"session":"%s","algo":"mpareto","mu":100}}|}
+        s s );
+    ( Printf.sprintf "%s-p2" s,
+      Printf.sprintf
+        {|{"id":"%s-p2","method":"place","params":{"session":"%s","algo":"dp"}}|}
+        s s );
+  ]
+
+(* The solver-output fields that must be schedule-independent. Fields
+   like cache_hit and elapsed_ms legitimately depend on timing and are
+   excluded. *)
+let deterministic_fields = function
+  | "place" -> [ "algo"; "placement"; "cost" ]
+  | "migrate" ->
+      [ "algo"; "placement"; "moved"; "migration_cost"; "comm_cost"; "total_cost" ]
+  | _ -> []
+
+let meth_of_request req =
+  match Json.member "method" (Json.parse req) with
+  | Some (Json.Str m) -> m
+  | _ -> Alcotest.failf "request without method: %s" req
+
+let test_concurrent_clients () =
+  with_server ~workers:2 "stress" @@ fun path ->
+  let conversations = Array.init num_clients client_requests in
+  let clients =
+    Array.map
+      (fun conv ->
+        Domain.spawn (fun () ->
+            Transport.call ~timeout:60.0 ~path (List.map snd conv)))
+      conversations
+  in
+  let responses = Array.map Domain.join clients in
+  (* Every request got exactly its own id back, in order, ok:true. *)
+  Array.iteri
+    (fun i conv ->
+      let resp = responses.(i) in
+      Alcotest.(check int)
+        "one response per request" (List.length conv) (List.length resp);
+      List.iter2
+        (fun (id, _) line ->
+          ignore (expect_ok line);
+          Alcotest.(check bool)
+            (Printf.sprintf "id %s echoed" id)
+            true
+            (Json.equal (Json.Str id) (response_id line)))
+        conv resp)
+    conversations;
+  (* The same conversations replayed sequentially on a fresh engine
+     produce identical solver outputs (placement, costs) — concurrency
+     must not change a single bit of the paper-visible results. *)
+  let sequential = Engine.create ~cache_capacity:4 () in
+  Array.iteri
+    (fun i conv ->
+      List.iter2
+        (fun (id, req) line ->
+          let seq_line = Engine.handle_line sequential req in
+          let fields = deterministic_fields (meth_of_request req) in
+          let concurrent_result = expect_ok line in
+          let sequential_result = expect_ok seq_line in
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s identical to sequential" id key)
+                true
+                (Json.equal
+                   (member_exn concurrent_result key)
+                   (member_exn sequential_result key)))
+            fields)
+        conv responses.(i))
+    conversations;
+  (* Final stats account for exactly the requests sent. *)
+  let stats =
+    expect_ok
+      (List.hd
+         (Transport.call ~timeout:30.0 ~path [ {|{"id":"st","method":"stats"}|} ]))
+  in
+  let requests = member_exn stats "requests" in
+  let sent = (num_clients * 5) + 1 (* the stats request itself *) in
+  Alcotest.(check int)
+    "requests.total equals requests sent" sent
+    (int_of_float (num_field requests "total"));
+  Alcotest.(check int)
+    "no errors" 0
+    (int_of_float (num_field requests "errors"));
+  let by_method = member_exn requests "by_method" in
+  Alcotest.(check int)
+    "place count" (2 * num_clients)
+    (int_of_float (num_field by_method "place"));
+  let server = member_exn stats "server" in
+  Alcotest.(check int)
+    "stats reports the worker pool" 2
+    (int_of_float (num_field server "workers"))
+
+(* --- overload ----------------------------------------------------------- *)
+
+let test_overload_rejection () =
+  with_server ~workers:1 ~max_pending:0 "overload" @@ fun path ->
+  (* A occupies the only worker (a connection holds its worker until it
+     closes)... *)
+  let a = connect path in
+  Unix.sleepf 0.3;
+  (* ...so B must be rejected — with a structured response, not a
+     dropped connection. *)
+  let b = connect path in
+  let line = recv_line b in
+  Alcotest.(check string) "overloaded code" "overloaded" (expect_error line);
+  Alcotest.(check bool)
+    "overloaded id null" true
+    (Json.equal Json.Null (response_id line));
+  (* The rejected connection is then closed by the server. *)
+  (match Unix.select [ b ] [] [] 5.0 with
+  | [], _, _ -> Alcotest.fail "rejected connection not closed"
+  | _ ->
+      Alcotest.(check int)
+        "EOF after rejection" 0
+        (Unix.read b (Bytes.create 1) 0 1));
+  Unix.close b;
+  (* A was never disturbed and sees the rejection in the gauges. *)
+  send_line a {|{"id":"a1","method":"stats"}|};
+  let stats = expect_ok (recv_line a) in
+  let server = member_exn stats "server" in
+  Alcotest.(check int)
+    "one rejected connection" 1
+    (int_of_float (num_field server "rejected"));
+  Unix.close a
+
+(* --- deadlines ---------------------------------------------------------- *)
+
+let test_queue_wait_deadline () =
+  with_server ~workers:1 ~request_timeout:0.05 "deadline" @@ fun path ->
+  let a = connect path in
+  (* B's first request goes out immediately, but B has to wait for the
+     only worker far beyond the 50 ms budget. *)
+  let b = connect path in
+  send_line b {|{"id":"b1","method":"health"}|};
+  Unix.sleepf 0.3;
+  (* A itself idled 0.3 s before its first request — that must NOT
+     count against A's deadline (the budget covers queueing, not
+     client think time). *)
+  send_line a {|{"id":"a1","method":"health"}|};
+  ignore (expect_ok (recv_line a));
+  Unix.close a;
+  (* The worker moves on to B: the first request spent its whole budget
+     queued and is answered deadline_exceeded with its id echoed — and
+     the worker survives to serve the next request normally. *)
+  let r1 = recv_line b in
+  Alcotest.(check string)
+    "deadline_exceeded code" "deadline_exceeded" (expect_error r1);
+  Alcotest.(check bool)
+    "deadline id echoed" true
+    (Json.equal (Json.Str "b1") (response_id r1));
+  send_line b {|{"id":"b2","method":"stats"}|};
+  let r2 = recv_line b in
+  let stats = expect_ok r2 in
+  Alcotest.(check bool)
+    "next request served normally" true
+    (Json.equal (Json.Str "b2") (response_id r2));
+  Alcotest.(check int)
+    "stats counts the deadline miss" 1
+    (int_of_float
+       (num_field (member_exn stats "requests") "deadline_exceeded"));
+  Unix.close b
+
+(* --- socket-file cleanup on accept-loop exception ----------------------- *)
+
+let test_socket_cleanup_on_exception () =
+  let path = sock_path "leak" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let engine = Engine.create () in
+  (* on_ready runs inside the accept-loop's protected region; raising
+     from it stands in for any accept-loop failure. Before the fix the
+     socket file survived an exceptional exit. *)
+  (match
+     Transport.serve_unix ~workers:1
+       ~on_ready:(fun () -> failwith "boom")
+       ~path engine
+   with
+  | () -> Alcotest.fail "serve_unix returned despite the exception"
+  | exception Failure msg -> Alcotest.(check string) "exception" "boom" msg);
+  Alcotest.(check bool)
+    "socket file removed on exceptional exit" false (Sys.file_exists path)
+
+(* --- client-side response timeout --------------------------------------- *)
+
+let test_call_timeout_on_stalled_server () =
+  let path = sock_path "stall" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let ready = Atomic.make false in
+  (* A daemon that accepts and reads but never answers. *)
+  let srv =
+    Domain.spawn (fun () ->
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 1;
+        Atomic.set ready true;
+        let fd, _ = Unix.accept sock in
+        let b = Bytes.create 1024 in
+        let rec drain () = if Unix.read fd b 0 1024 > 0 then drain () in
+        (try drain () with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  (match
+     Transport.call ~timeout:0.25 ~path [ {|{"id":1,"method":"health"}|} ]
+   with
+  | _ -> Alcotest.fail "expected Transport.call to time out"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "distinguishable timeout failure: %s" msg)
+        true
+        (let re = "timed out" in
+         let len = String.length re in
+         let n = String.length msg in
+         let rec find i = i + len <= n && (String.equal (String.sub msg i len) re || find (i + 1)) in
+         find 0));
+  Domain.join srv
+
+let () =
+  (* The CI stress step runs this binary directly with PPDC_METRICS set
+     and uploads the NDJSON it writes. *)
+  (match Obs.env_path () with
+  | Some path ->
+      Obs.set_enabled true;
+      at_exit (fun () -> Obs.export ~path)
+  | None -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Alcotest.run "ppdc_server_stress"
+    [
+      ( "concurrency",
+        [
+          Alcotest.test_case
+            "parallel clients: id echo, sequential equivalence, counters"
+            `Quick test_concurrent_clients;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "full pool answers a structured overloaded error"
+            `Quick test_overload_rejection;
+          Alcotest.test_case "queue wait past --request-timeout answers \
+                              deadline_exceeded" `Quick test_queue_wait_deadline;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "socket file removed when the accept loop dies"
+            `Quick test_socket_cleanup_on_exception;
+          Alcotest.test_case "call ~timeout raises on a stalled daemon" `Quick
+            test_call_timeout_on_stalled_server;
+        ] );
+    ]
