@@ -1,5 +1,5 @@
 # Convenience entry points; dune is the real build system.
-.PHONY: all build test lint bench clean
+.PHONY: all build test lint bench bench-check bench-baseline clean
 
 all: build lint test
 
@@ -16,6 +16,17 @@ lint: build
 
 bench:
 	dune exec bench/main.exe
+
+# Gate the flat-graph hot paths against the committed trajectory.
+# Entries are compared after normalizing by the in-run reference entry,
+# so the check is meaningful on hardware other than the one that
+# recorded the baseline. Tolerance: PPDC_BENCH_TOLERANCE (default 0.10).
+bench-check: build
+	dune exec bench/flatgraph.exe -- --check BENCH_flatgraph.json
+
+# Re-record the committed baseline (run on a quiet machine).
+bench-baseline: build
+	dune exec bench/flatgraph.exe -- --out BENCH_flatgraph.json
 
 clean:
 	dune clean

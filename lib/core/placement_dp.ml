@@ -1,6 +1,8 @@
 module Parallel = Ppdc_prelude.Parallel
 module Obs = Ppdc_prelude.Obs
 
+let stroll_workspace = Domain.DLS.new_key Stroll_dp.workspace
+
 type outcome = {
   placement : Placement.t;
   cost : float;
@@ -89,8 +91,14 @@ let solve problem ~rates ?(rescore = false) ?pair_limit ?max_edges () =
        bit-identical to the sequential double loop for any
        PPDC_DOMAINS. *)
     let egress_best egress =
+      (* Re-prepare into this domain's workspace: the per-egress fan-out
+         rebuilds the DP table in place instead of allocating one per
+         egress. Tasks on different domains get distinct workspaces, so
+         the parallel map stays race-free. *)
       let table =
-        Stroll_dp.prepare ~cm ~dst:egress ~candidates:switches ~extras:[||]
+        Stroll_dp.prepare_in
+          (Domain.DLS.get stroll_workspace)
+          ~cm ~dst:egress ~candidates:switches ~extras:[||]
       in
       let local = ref None in
       let consider ~ingress ~middles ~stroll_cost =

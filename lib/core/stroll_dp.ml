@@ -1,23 +1,52 @@
 module Cost_matrix = Ppdc_topology.Cost_matrix
-module Graph = Ppdc_topology.Graph
 module Obs = Ppdc_prelude.Obs
+module Graph = Ppdc_topology.Graph
 
+(* The DP state is a bundle of growable flat buffers so that one table
+   can be re-prepared for a new destination without allocating: Algo. 3
+   prepares one table per candidate egress, and rebuilding the metric
+   completion in place turns that fan-out's inner loops zero-alloc.
+   Valid data always lives in the prefix dictated by [nn] (or [levels]);
+   capacities only grow. *)
 type table = {
-  nodes : int array;  (* local index -> graph node; dst is local 0 *)
-  local : (int, int) Hashtbl.t;  (* graph node -> local index *)
-  counting : bool array;  (* local index counts towards "n distinct" *)
-  dist : float array array;  (* metric completion, local indices *)
-  dst : int;  (* graph node *)
+  mutable nn : int;  (* number of local nodes; dst is local 0 *)
+  mutable nodes : int array;  (* capacity >= nn: local index -> graph node *)
+  mutable local : int array;
+      (* capacity >= |V| of the graph: graph node -> local index, -1 when
+         the node is not in the table *)
+  mutable counting : Bytes.t;
+      (* capacity >= nn: local index counts towards "n distinct" *)
+  mutable dist : float array;
+      (* capacity >= nn²: metric completion, row stride nn *)
+  mutable dst : int;  (* graph node *)
   (* Growable level store: slot [e - 1] holds level [e] once computed.
-     Capacity doubles on demand, so [level] is O(1) and the edge-budget
-     escalation in [query] is linear in the number of levels rather
-     than quadratic (the former list store paid List.nth per access). *)
+     Row arrays are kept across re-prepares (only the valid prefix [nn]
+     is ever read), and capacity doubles on demand so [level] is O(1)
+     and the edge-budget escalation in [query] is linear in the number
+     of levels. *)
   mutable best : float array array;
   mutable succ : int array array;
   mutable levels : int;  (* number of levels computed *)
 }
 
-(* [level t e] fetches level [e] (1-based); [e <= t.levels] required. *)
+type workspace = table
+
+let workspace () =
+  {
+    nn = 0;
+    nodes = [||];
+    local = [||];
+    counting = Bytes.empty;
+    dist = [||];
+    dst = -1;
+    best = [||];
+    succ = [||];
+    levels = 0;
+  }
+
+(* [level t e] fetches level [e] (1-based); [e <= t.levels] required.
+   Returned arrays may be longer than [t.nn] — only the prefix is
+   meaningful. *)
 let level t e = (t.best.(e - 1), t.succ.(e - 1))
 
 let grow_levels t =
@@ -31,62 +60,104 @@ let grow_levels t =
     t.succ <- succ
   end
 
-let prepare ~cm ~dst ~candidates ~extras =
+(* Fetch (allocating only on first use or growth) the row for the next
+   level to be written. *)
+let level_row t store =
+  if Array.length store.(t.levels) < t.nn then
+    store.(t.levels) <- Array.make t.nn 0.0;
+  store.(t.levels)
+
+let level_row_int t store =
+  if Array.length store.(t.levels) < t.nn then
+    store.(t.levels) <- Array.make t.nn 0;
+  store.(t.levels)
+
+let prepare_in t ~cm ~dst ~candidates ~extras =
   if Array.length candidates = 0 then
     invalid_arg "Stroll_dp.prepare: no candidates";
-  let local = Hashtbl.create 64 in
-  let add_node acc v =
-    if Hashtbl.mem local v then acc
-    else begin
-      Hashtbl.add local v (List.length acc);
-      v :: acc
+  let num_nodes = Cost_matrix.num_nodes cm in
+  (* Reset the node->local map: clear the previous table's entries (the
+     prefix of [nodes] tells us exactly which slots are dirty), then
+     grow if this graph is larger than any seen before. *)
+  for i = 0 to t.nn - 1 do
+    t.local.(t.nodes.(i)) <- -1
+  done;
+  if Array.length t.local < num_nodes then t.local <- Array.make num_nodes (-1);
+  let max_nn = 1 + Array.length candidates + Array.length extras in
+  if Array.length t.nodes < max_nn then t.nodes <- Array.make max_nn (-1);
+  t.nn <- 0;
+  let add_node v =
+    if t.local.(v) = -1 then begin
+      t.local.(v) <- t.nn;
+      t.nodes.(t.nn) <- v;
+      t.nn <- t.nn + 1
     end
   in
   (* dst first so it gets local index 0. *)
-  let rev_nodes = add_node [] dst in
-  let rev_nodes = Array.fold_left add_node rev_nodes candidates in
-  let rev_nodes = Array.fold_left add_node rev_nodes extras in
-  let nodes = Array.of_list (List.rev rev_nodes) in
-  let nn = Array.length nodes in
-  if
-    Array.length candidates
-    <> Hashtbl.length
-         (let h = Hashtbl.create 64 in
-          Array.iter (fun c -> Hashtbl.replace h c ()) candidates;
-          h)
-  then invalid_arg "Stroll_dp.prepare: duplicate candidates";
-  let counting = Array.make nn false in
-  Array.iter (fun c -> counting.(Hashtbl.find local c) <- true) candidates;
-  counting.(0) <- false;
-  (* dst never counts *)
-  let dist =
-    Array.init nn (fun i ->
-        Array.init nn (fun j -> Cost_matrix.cost cm nodes.(i) nodes.(j)))
+  add_node dst;
+  let before_candidates = t.nn in
+  Array.iter add_node candidates;
+  let added = t.nn - before_candidates in
+  (* Duplicate detection without an auxiliary set: folding [candidates]
+     adds every distinct candidate except [dst] (already present), so
+     with no duplicates [added = length - occurrences-of-dst] and [dst]
+     occurs at most once. *)
+  let occ_dst =
+    Array.fold_left (fun n c -> if c = dst then n + 1 else n) 0 candidates
   in
-  (* Level 1: direct hop to dst. A self "hop" (possible when a node other
-     than local-0 maps to the same graph node, which prepare prevents) and
-     the dst->dst hop are forbidden. *)
-  let best1 = Array.init nn (fun i -> if i = 0 then infinity else dist.(i).(0)) in
-  let succ1 = Array.init nn (fun i -> if i = 0 then -1 else 0) in
-  let best = Array.make 8 [||] and succ = Array.make 8 [||] in
-  best.(0) <- best1;
-  succ.(0) <- succ1;
+  if occ_dst > 1 || added <> Array.length candidates - occ_dst then
+    invalid_arg "Stroll_dp.prepare: duplicate candidates";
+  Array.iter add_node extras;
+  let nn = t.nn in
+  if Bytes.length t.counting < nn then t.counting <- Bytes.create nn;
+  Bytes.fill t.counting 0 nn '\000';
+  Array.iter (fun c -> Bytes.set t.counting t.local.(c) '\001') candidates;
+  Bytes.set t.counting 0 '\000';
+  (* dst never counts *)
+  if Array.length t.dist < nn * nn then t.dist <- Array.make (nn * nn) 0.0;
+  for i = 0 to nn - 1 do
+    let row = i * nn in
+    let u = t.nodes.(i) in
+    for j = 0 to nn - 1 do
+      t.dist.(row + j) <- Cost_matrix.cost cm u t.nodes.(j)
+    done
+  done;
+  t.dst <- dst;
+  (* Level 1: direct hop to dst. A self "hop" (possible only when two
+     local indices map to the same graph node, which prepare prevents)
+     and the dst->dst hop are forbidden. *)
+  t.levels <- 0;
+  grow_levels t;
+  let best1 = level_row t t.best and succ1 = level_row_int t t.succ in
+  best1.(0) <- infinity;
+  succ1.(0) <- -1;
+  for i = 1 to nn - 1 do
+    best1.(i) <- t.dist.(i * nn);
+    succ1.(i) <- 0
+  done;
+  t.levels <- 1;
   Obs.incr "stroll_dp.tables";
   Obs.observe "stroll_dp.table_nodes" (float_of_int nn);
-  { nodes; local; counting; dist; dst; best; succ; levels = 1 }
+  t
+
+let prepare ~cm ~dst ~candidates ~extras =
+  prepare_in (workspace ()) ~cm ~dst ~candidates ~extras
 
 let extend_one_level t =
-  let nn = Array.length t.nodes in
+  let nn = t.nn in
   let prev_best, prev_succ = level t t.levels in
-  let best = Array.make nn infinity in
-  let succ = Array.make nn (-1) in
+  grow_levels t;
+  let best = level_row t t.best and succ = level_row_int t t.succ in
   for i = 0 to nn - 1 do
+    best.(i) <- infinity;
+    succ.(i) <- -1;
+    let row = i * nn in
     (* Intermediate u: not i itself, not dst (local 0), and no immediate
        backtrack (the previous level's stroll from u must not return
        straight to i). *)
     for u = 1 to nn - 1 do
       if u <> i && prev_succ.(u) <> i && prev_best.(u) < infinity then begin
-        let candidate = t.dist.(i).(u) +. prev_best.(u) in
+        let candidate = t.dist.(row + u) +. prev_best.(u) in
         if candidate < best.(i) then begin
           best.(i) <- candidate;
           succ.(i) <- u
@@ -94,9 +165,6 @@ let extend_one_level t =
       end
     done
   done;
-  grow_levels t;
-  t.best.(t.levels) <- best;
-  t.succ.(t.levels) <- succ;
   t.levels <- t.levels + 1;
   Obs.incr "stroll_dp.levels_extended"
 
@@ -130,9 +198,8 @@ let distinct_counting t ~walk ~src ~excluded =
         && (not (Hashtbl.mem seen v))
         && (not (Hashtbl.mem excluded v))
         &&
-        match Hashtbl.find_opt t.local v with
-        | Some idx -> t.counting.(idx)
-        | None -> false
+        let idx = t.local.(v) in
+        idx >= 0 && Bytes.get t.counting idx <> '\000'
       then begin
         Hashtbl.add seen v ();
         acc := v :: !acc
@@ -142,9 +209,9 @@ let distinct_counting t ~walk ~src ~excluded =
 
 let query t ~src ~n ?(exclude = [||]) ?max_edges () =
   let src_local =
-    match Hashtbl.find_opt t.local src with
-    | Some i -> i
-    | None -> invalid_arg "Stroll_dp.query: source not in table"
+    if src < 0 || src >= Array.length t.local || t.local.(src) = -1 then
+      invalid_arg "Stroll_dp.query: source not in table"
+    else t.local.(src)
   in
   if n < 0 then invalid_arg "Stroll_dp.query: negative n";
   if n = 0 then begin

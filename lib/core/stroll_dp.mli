@@ -17,6 +17,28 @@
 
 type table
 
+type workspace
+(** Reusable buffer bundle backing a {!table}. Preparing into the same
+    workspace again rebuilds the table in place (buffers only grow), so
+    per-destination fan-outs — one table per candidate egress in
+    Algo. 3 — allocate nothing after the first round. A workspace must
+    not be shared between concurrent preparations; give each domain its
+    own (e.g. via [Domain.DLS]). *)
+
+val workspace : unit -> workspace
+(** A fresh, empty workspace. *)
+
+val prepare_in :
+  workspace ->
+  cm:Ppdc_topology.Cost_matrix.t ->
+  dst:int ->
+  candidates:int array ->
+  extras:int array ->
+  table
+(** Like {!prepare}, but (re)builds the table inside [workspace] instead
+    of allocating. The returned table aliases the workspace: it is valid
+    until the next [prepare_in] on the same workspace. *)
+
 val prepare :
   cm:Ppdc_topology.Cost_matrix.t ->
   dst:int ->

@@ -88,7 +88,16 @@ let initial_potentials t ~source =
           t.head.(u)
     done
   done;
-  Array.map (fun d -> if Float.equal d infinity then 0.0 else d) dist
+  (* Keep [infinity] for nodes unreachable from [source]. The former
+     mapping to 0.0 manufactured a fake finite potential: an arc from an
+     unreachable region into the reachable one then got reduced cost
+     [cost + 0.0 - potential.(v)], which can be negative — violating the
+     invariant Dijkstra-with-potentials rests on. Reachability from the
+     source is monotone under augmentation (pushing flow only adds
+     residual arcs between already-reachable nodes), so an unreachable
+     node can never lie on an augmenting path and needs no potential at
+     all. *)
+  dist
 
 let solve ?(max_flow = max_int) t ~source ~sink =
   if t.solved then invalid_arg "Min_cost_flow.solve: already solved";
@@ -128,14 +137,20 @@ let solve ?(max_flow = max_int) t ~source ~sink =
                   let a = arcs.(i) in
                   if t.arc_cap.(a) > 0 then begin
                     let v = t.arc_to.(a) in
-                    let reduced =
-                      t.arc_cost.(a) +. potential.(u) -. potential.(v)
-                    in
-                    let candidate = d +. Float.max 0.0 reduced in
-                    if candidate < dist.(v) then begin
-                      dist.(v) <- candidate;
-                      pred_arc.(v) <- a;
-                      Pqueue.push queue candidate v
+                    (* An infinite potential marks a node unreachable
+                       from the source; no augmenting path can use it,
+                       and relaxing through it would turn the reduced
+                       cost into -infinity/NaN. *)
+                    if Float.is_finite potential.(v) then begin
+                      let reduced =
+                        t.arc_cost.(a) +. potential.(u) -. potential.(v)
+                      in
+                      let candidate = d +. Float.max 0.0 reduced in
+                      if candidate < dist.(v) then begin
+                        dist.(v) <- candidate;
+                        pred_arc.(v) <- a;
+                        Pqueue.push queue candidate v
+                      end
                     end
                   end
                 done
@@ -151,7 +166,8 @@ let solve ?(max_flow = max_int) t ~source ~sink =
            costs non-negative without finishing the Dijkstra. *)
         let d_sink = dist.(sink) in
         for v = 0 to t.num_nodes - 1 do
-          potential.(v) <- potential.(v) +. Float.min dist.(v) d_sink
+          if Float.is_finite potential.(v) then
+            potential.(v) <- potential.(v) +. Float.min dist.(v) d_sink
         done;
         (* Bottleneck along the augmenting path. *)
         let bottleneck = ref (max_flow - !total_flow) in

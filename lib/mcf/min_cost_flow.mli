@@ -29,6 +29,19 @@ type result = {
   cost : float;  (** Σ over arcs of flow · cost *)
 }
 
+val initial_potentials : t -> source:int -> float array
+[@@ppdc.sentinel
+  "infinity marks a node unreachable from the source; such nodes can \
+   never lie on an augmenting path (reachability is monotone under \
+   augmentation) and must not receive a fabricated finite potential"]
+(** Johnson node potentials from one Bellman–Ford pass over the residual
+    network: entry [v] is the cheapest cost from [source] to [v], or
+    [infinity] when [v] is unreachable. Exposed for testing the
+    potential invariant (every capacitated arc between reachable nodes
+    has non-negative reduced cost); [solve] calls it internally. Raises
+    [Invalid_argument] on a negative-cost cycle reachable from
+    [source]. *)
+
 val solve : ?max_flow:int -> t -> source:int -> sink:int -> result
 (** Push up to [max_flow] units (default: as much as possible) along
     successively cheapest paths. May be called once per network. Raises

@@ -27,3 +27,29 @@ val peek_min : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
 (** Remove all elements, keeping the underlying storage. *)
+
+(** Monomorphic min-heap with [float] priorities and [int] payloads.
+
+    Functionally a specialization of the polymorphic queue above, but
+    both backing arrays are unboxed so [push]/[pop] never allocate —
+    this is the queue the Dijkstra hot paths use. To drain without
+    allocating, pair {!Int_heap.min_prio} with {!Int_heap.pop}. *)
+module Int_heap : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val push : t -> float -> int -> unit
+
+  val min_prio : t -> float
+  (** Priority of the smallest element. Raises [Invalid_argument] when
+      empty. *)
+
+  val pop : t -> int
+  (** Remove and return the payload of the smallest element. Raises
+      [Invalid_argument] when empty. *)
+
+  val clear : t -> unit
+end

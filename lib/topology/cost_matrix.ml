@@ -1,48 +1,74 @@
+(* The whole all-pairs result lives in two flat Bigarrays with row
+   stride [n]: [dist.{src * n + dst}] and [pred.{src * n + dst}]. Flat
+   rows keep the per-source Dijkstra writes and the solvers' row scans
+   on contiguous memory, and Bigarray storage keeps the matrices out of
+   the GC-scanned heap — a |V|² [int array] of predecessors is a tag-0
+   block the major collector would otherwise walk in full (~700 MB per
+   mark cycle at k=32). This is the layout the flat-graph benches
+   (BENCH_flatgraph.json) hold the line on. *)
 type t = {
   graph : Graph.t;
-  dist : float array array;  (* dist.(src).(dst) *)
-  pred : int array array;  (* pred.(src).(dst) on the tree rooted at src *)
+  n : int;  (* row stride *)
+  dist : Shortest_paths.dist_row;  (* length n * n *)
+  pred : Shortest_paths.pred_row;
+      (* length n * n; row src is the tree rooted at src *)
 }
 
 module Obs = Ppdc_prelude.Obs
 
 (* One Dijkstra per source, distributed over the domain pool: each task
-   only writes its own [dist]/[pred] slot, so the rows are identical to
-   the sequential loop's for any PPDC_DOMAINS. *)
-let compute graph =
+   writes only its own row segment [src*n .. src*n + n - 1] of the
+   shared flat arrays, so the result is identical to the sequential
+   loop's for any PPDC_DOMAINS. *)
+let compute ?algo graph =
   Obs.time "cost_matrix.compute" @@ fun () ->
   let n = Graph.num_nodes graph in
-  let dist = Array.make n [||] and pred = Array.make n [||] in
+  let dist = Shortest_paths.alloc_dist_rows (max (n * n) 1) in
+  let pred = Shortest_paths.alloc_pred_rows (max (n * n) 1) in
   Ppdc_prelude.Parallel.parallel_for n (fun src ->
-      let d, p =
-        Obs.time "cost_matrix.dijkstra" @@ fun () ->
-        Shortest_paths.dijkstra graph ~src
-      in
-      Array.iter
-        (fun x ->
-          if Float.equal x infinity then
-            invalid_arg "Cost_matrix.compute: graph is not connected")
-        d;
-      dist.(src) <- d;
-      pred.(src) <- p);
+      let base = src * n in
+      (Obs.time "cost_matrix.dijkstra" @@ fun () ->
+       Shortest_paths.dijkstra_into ?algo graph ~src ~dist ~pred ~base);
+      for v = base to base + n - 1 do
+        if not (Float.is_finite dist.{v}) then
+          invalid_arg "Cost_matrix.compute: graph is not connected"
+      done);
   Obs.incr ~by:n "cost_matrix.dijkstra_runs";
-  { graph; dist; pred }
+  { graph; n; dist; pred }
 
 let graph t = t.graph
 
-let cost t u v = t.dist.(u).(v)
+let cost t u v = t.dist.{(u * t.n) + v}
+
+let stride t = t.n
+let costs t = t.dist
 
 let path t ~src ~dst =
-  Shortest_paths.path_from_pred ~pred:t.pred.(src) ~src ~dst
+  let base = src * t.n in
+  if t.pred.{base + dst} = -1 then
+    (* [compute] rejects disconnected graphs, so every pair has a path;
+       an unreachable row entry here means memory corruption. *)
+    invalid_arg "Cost_matrix.path: unreachable destination"
+  else begin
+    let rec walk v acc =
+      if v = src then v :: acc else walk t.pred.{base + v} (v :: acc)
+    in
+    walk dst []
+  end
 
 let switch_path t ~src ~dst =
   List.filter (Graph.is_switch t.graph) (path t ~src ~dst)
 
-let hop_count t ~src ~dst = max 0 (List.length (path t ~src ~dst) - 1)
+(* [path] never returns [] (it is [[src]] when [src = dst]), so the hop
+   count is unambiguous: 0 exactly when [src = dst]. The former
+   [max 0 (len - 1)] collapsed "unreachable" and "same node" to 0. *)
+let hop_count t ~src ~dst = List.length (path t ~src ~dst) - 1
 
 let diameter t =
-  Array.fold_left
-    (fun acc row -> Array.fold_left Float.max acc row)
-    0.0 t.dist
+  let acc = ref 0.0 in
+  for i = 0 to (t.n * t.n) - 1 do
+    acc := Float.max !acc t.dist.{i}
+  done;
+  !acc
 
-let num_nodes t = Array.length t.dist
+let num_nodes t = t.n

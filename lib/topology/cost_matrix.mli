@@ -7,18 +7,29 @@
     cost of flow [(v_i, v'_i)] is [λ_i · c(s(v_i), s(v'_i))] and migrating
     a VNF from switch [u] to [v] costs [μ · c(u, v)].
 
-    Memory is Θ(|V|²); a k=16 fat-tree (1344 nodes) needs ≈ 30 MB. *)
+    Memory is Θ(|V|²) in two flat arrays of row stride [num_nodes]; a
+    k=16 fat-tree (1344 nodes) needs ≈ 30 MB. *)
 
 type t
 
-val compute : Graph.t -> t
-(** Run Dijkstra from every node. Raises [Invalid_argument] if the graph
-    is not connected (a PPDC is always connected). *)
+val compute : ?algo:Shortest_paths.algo -> Graph.t -> t
+(** Run Dijkstra from every node ([?algo] selects the engine, default
+    {!Shortest_paths.Auto}; every engine produces identical matrices).
+    Raises [Invalid_argument] if the graph is not connected (a PPDC is
+    always connected). *)
 
 val graph : t -> Graph.t
 
 val cost : t -> int -> int -> float
 (** [cost t u v] is [c(u, v)]; 0 when [u = v]. *)
+
+val costs : t -> Shortest_paths.dist_row
+(** The flat distance matrix itself: [c(u, v)] lives at index
+    [u * stride t + v]. Off-heap shared storage for solver hot loops —
+    callers must not mutate it. *)
+
+val stride : t -> int
+(** Row stride of {!costs} (equals {!num_nodes}). *)
 
 val path : t -> src:int -> dst:int -> int list
 (** Node sequence of one cheapest path, inclusive of both endpoints;
@@ -30,7 +41,9 @@ val switch_path : t -> src:int -> dst:int -> int list
     the switches a VNF passes while migrating from [src] to [dst]. *)
 
 val hop_count : t -> src:int -> dst:int -> int
-(** Number of edges on the extracted cheapest path. *)
+(** Number of edges on the extracted cheapest path: 0 exactly when
+    [src = dst]. (Unreachable pairs cannot occur — {!compute} rejects
+    disconnected graphs — so 0 is no longer an ambiguous sentinel.) *)
 
 val diameter : t -> float
 (** Greatest cost between any pair of nodes (the [D] in Algo. 5's

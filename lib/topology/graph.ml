@@ -1,12 +1,30 @@
 type node_kind = Host | Switch
 
+(* Adjacency is a flat CSR layout: the neighbours of node [u] are
+   [targets.(row_ptr.(u)) .. targets.(row_ptr.(u+1) - 1)] with parallel
+   [weights]. One contiguous int array and one contiguous float array
+   replace the former [(int * float) array array]: no per-node array
+   headers, no tuple boxing, and the per-source Dijkstra sweep walks
+   memory linearly. [int_weights] additionally carries every weight as an
+   int (parallel to [targets]) when the whole graph has small integral
+   weights — the precondition for the dial (bucket-queue) Dijkstra fast
+   path in [Shortest_paths]. *)
 type t = {
   kinds : node_kind array;
-  adj : (int * float) array array;
-  edge_list : (int * int * float) array;  (* u < v *)
+  row_ptr : int array;  (* length n+1; row_ptr.(n) = 2|E| *)
+  targets : int array;  (* length 2|E| *)
+  weights : float array;  (* length 2|E|, parallel to targets *)
+  int_weights : int array;  (* parallel to targets; [||] unless integral *)
+  int_weight_bound : int;  (* max integral weight; 0 = not integral *)
+  edge_list : (int * int * float) array;  (* u < v, canonically sorted *)
   host_ids : int array;
   switch_ids : int array;
 }
+
+(* Weights strictly above this bound fall back to the heap path even if
+   integral: dial buckets are Θ(max weight) empty-bucket scans per
+   settled distance unit, which stops paying off for coarse weights. *)
+let max_dial_weight = 4096
 
 let validate_edges kinds edges =
   let n = Array.length kinds in
@@ -35,15 +53,40 @@ let make ~kinds ~edges =
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
     edges;
-  let adj = Array.init n (fun i -> Array.make deg.(i) (0, 0.0)) in
-  let fill = Array.make n 0 in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + deg.(i)
+  done;
+  let m2 = row_ptr.(n) in
+  let targets = Array.make m2 0 in
+  let weights = Array.make m2 0.0 in
+  (* [fill] tracks the next free slot of each row; filling in the order
+     the edges were given reproduces the neighbour order of the former
+     nested-array representation exactly. *)
+  let fill = Array.copy row_ptr in
   List.iter
     (fun (u, v, w) ->
-      adj.(u).(fill.(u)) <- (v, w);
+      targets.(fill.(u)) <- v;
+      weights.(fill.(u)) <- w;
       fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- (u, w);
+      targets.(fill.(v)) <- u;
+      weights.(fill.(v)) <- w;
       fill.(v) <- fill.(v) + 1)
     edges;
+  let integral =
+    let ok = ref (m2 > 0) in
+    let bound = ref 0 in
+    Array.iter
+      (fun w ->
+        if Float.is_integer w && w >= 1.0 && w <= float_of_int max_dial_weight
+        then bound := max !bound (int_of_float w)
+        else ok := false)
+      weights;
+    if !ok then !bound else 0
+  in
+  let int_weights =
+    if integral > 0 then Array.map int_of_float weights else [||]
+  in
   let edge_list =
     edges
     |> List.map (fun (u, v, w) -> if u < v then (u, v, w) else (v, u, w))
@@ -65,7 +108,11 @@ let make ~kinds ~edges =
   in
   {
     kinds = Array.copy kinds;
-    adj;
+    row_ptr;
+    targets;
+    weights;
+    int_weights;
+    int_weight_bound = integral;
     edge_list;
     host_ids = ids_of_kind Host;
     switch_ids = ids_of_kind Switch;
@@ -83,11 +130,17 @@ let is_switch g u = g.kinds.(u) = Switch
 let hosts g = Array.copy g.host_ids
 let switches g = Array.copy g.switch_ids
 
-let degree g u = Array.length g.adj.(u)
+let degree g u = g.row_ptr.(u + 1) - g.row_ptr.(u)
 
-let iter_neighbors g u f = Array.iter (fun (v, w) -> f v w) g.adj.(u)
+let iter_neighbors g u f =
+  for i = g.row_ptr.(u) to g.row_ptr.(u + 1) - 1 do
+    f g.targets.(i) g.weights.(i)
+  done
 
-let neighbors g u = Array.to_list g.adj.(u)
+let neighbors g u =
+  List.init (degree g u) (fun j ->
+      let i = g.row_ptr.(u) + j in
+      (g.targets.(i), g.weights.(i)))
 
 let edge_weight g u v =
   let found = ref None in
@@ -95,6 +148,14 @@ let edge_weight g u v =
   !found
 
 let edges g = Array.to_list g.edge_list
+
+let csr_row_ptr g = g.row_ptr
+let csr_targets g = g.targets
+let csr_weights g = g.weights
+
+let integral_weights g =
+  if g.int_weight_bound > 0 then Some (g.int_weights, g.int_weight_bound)
+  else None
 
 let map_weights g f =
   let edges' =
@@ -112,7 +173,11 @@ let digest g =
   (* [edge_list] is canonical (u < v, sorted at build time), so the
      serialization — and hence the hash — is independent of the order
      the edges were handed to [make]. Weights hash by their IEEE bit
-     pattern: any weight change, however small, changes the digest. *)
+     pattern: any weight change, however small, changes the digest.
+     The CSR arrays deliberately do not participate: the digest is a
+     function of the abstract node/edge structure, so it is byte-stable
+     across adjacency-representation changes (the server's cost-matrix
+     cache keys must survive exactly such refactors). *)
   let b = Buffer.create (64 + (16 * Array.length g.edge_list)) in
   Buffer.add_string b "ppdc.graph/1|";
   Buffer.add_string b (string_of_int (Array.length g.kinds));

@@ -8,7 +8,13 @@
     (Section III of the paper).
 
     Node identifiers are dense integers [0 .. num_nodes - 1]. The structure
-    is immutable once built. *)
+    is immutable once built.
+
+    Internally the adjacency is a flat CSR (compressed sparse row)
+    layout — one [row_ptr] index array plus parallel [targets]/[weights]
+    arrays — so whole-graph sweeps (Dijkstra per source) touch memory
+    linearly. The {!csr_row_ptr}/{!csr_targets}/{!csr_weights} accessors
+    expose the raw arrays to hot paths; see DESIGN.md "Memory layout". *)
 
 type node_kind = Host | Switch
 
@@ -50,6 +56,29 @@ val edge_weight : t -> int -> int -> float option
 
 val edges : t -> (int * int * float) list
 (** All edges, each reported once with endpoints in increasing order. *)
+
+val csr_row_ptr : t -> int array
+(** CSR row index: the neighbours of [u] occupy slots
+    [csr_row_ptr g.(u) .. csr_row_ptr g.(u+1) - 1] of {!csr_targets} and
+    {!csr_weights}. Length [num_nodes g + 1]. The returned array is the
+    graph's own storage — callers must not mutate it. *)
+
+val csr_targets : t -> int array
+(** CSR neighbour array (length [2 · num_edges g]), parallel to
+    {!csr_weights}. Shared storage — do not mutate. *)
+
+val csr_weights : t -> float array
+(** CSR weight array, parallel to {!csr_targets}. Shared storage — do
+    not mutate. *)
+
+val integral_weights : t -> (int array * int) option
+(** [Some (iw, bound)] when every edge weight is an integer in
+    [1 .. 4096]: [iw] carries the weights as ints, parallel to
+    {!csr_targets}, and [bound] is the largest weight. This is the
+    precondition for the dial (bucket-queue) Dijkstra fast path — unit-
+    weight fat-tree/leaf-spine fabrics always qualify. [None] otherwise
+    (fractional, non-positive-after-mapping, or very coarse weights).
+    Shared storage — do not mutate. *)
 
 val map_weights : t -> (int -> int -> float -> float) -> t
 (** [map_weights g f] is [g] with each edge [(u, v, w)], [u < v], carrying

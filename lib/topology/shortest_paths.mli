@@ -1,13 +1,69 @@
-(** Single-source shortest paths (Dijkstra with a binary heap). *)
+(** Single-source shortest paths over the CSR graph.
 
-val dijkstra : Graph.t -> src:int -> float array * int array
+    Two engines produce identical rows:
+
+    - a binary-heap Dijkstra (works for any positive float weights);
+    - a dial (bucket-queue) Dijkstra used automatically when the graph
+      reports small integral weights ({!Graph.integral_weights} with a
+      bound ≤ 64) — the common unit-weight fat-tree/leaf-spine case,
+      where it replaces O(log n) heap sifts with O(1) bucket pushes.
+
+    Both engines break shortest-path ties towards the lowest-numbered
+    predecessor, and the tie-break only applies while the target is not
+    yet settled, so the predecessor tree is frozen at settlement: the
+    resulting [(dist, pred)] rows are a pure function of the graph,
+    independent of the queue discipline. On integral weights the two
+    engines agree bit-for-bit (integer arithmetic is exact in both). *)
+
+type dist_row = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Flat distance storage, one or more rows of a source-major matrix.
+    Bigarray rather than [float array] so the |V|²-sized all-pairs
+    matrices live off the OCaml heap: never scanned by the major GC,
+    never moved, no initialization cost at allocation. *)
+
+type pred_row = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Flat predecessor storage; same layout contract as {!dist_row}. *)
+
+val alloc_dist_rows : int -> dist_row
+(** [alloc_dist_rows len] allocates uninitialized off-heap storage for
+    [len] entries. Each {!dijkstra_into} call fully overwrites its own
+    row, so no global fill is needed (or performed). *)
+
+val alloc_pred_rows : int -> pred_row
+
+type algo =
+  | Auto  (** dial when {!Graph.integral_weights} holds with bound ≤ 64 *)
+  | Heap  (** force the binary-heap engine *)
+  | Dial
+      (** force the bucket-queue engine; raises [Invalid_argument] if
+          the graph does not report integral weights *)
+
+val dijkstra : ?algo:algo -> Graph.t -> src:int -> float array * int array
 (** [dijkstra g ~src] returns [(dist, pred)]: [dist.(v)] is the cheapest
     cost from [src] to [v] ([infinity] if unreachable) and [pred.(v)] is
     [v]'s predecessor on one cheapest path ([src] for the source itself,
     [-1] if unreachable). Ties are broken deterministically towards the
-    lowest-numbered neighbour, so extracted paths are stable across
-    runs. *)
+    lowest-numbered predecessor, so extracted paths are stable across
+    runs and engines. *)
 
-val path_from_pred : pred:int array -> src:int -> dst:int -> int list
+val dijkstra_into :
+  ?algo:algo ->
+  Graph.t ->
+  src:int ->
+  dist:dist_row ->
+  pred:pred_row ->
+  base:int ->
+  unit
+(** Zero-copy variant for flat all-pairs storage: writes the row into
+    [dist.{base} .. dist.{base + n - 1}] (same for [pred]) instead of
+    allocating. [Cost_matrix] calls this once per source with
+    [base = src * n] on one shared [n²] Bigarray. Raises
+    [Invalid_argument] if the row does not fit. *)
+
+val path_from_pred :
+  ?base:int -> pred:int array -> src:int -> dst:int -> unit -> int list option
 (** Reconstruct the node sequence [src; ...; dst] from a predecessor
-    array. Returns [[]] if [dst] is unreachable. *)
+    row ([pred.(base + v)], [base] defaults to [0]). [None] when [dst]
+    is unreachable — distinct from the one-node path [Some [src]] when
+    [src = dst], so callers can no longer confuse "no path" with "empty
+    path" (the former [[]] return collapsed both). *)

@@ -9,3 +9,10 @@ let mean_rate = function
 let best_pair feasible = if feasible then [| 0; 1 |] else [| -1; -1 |]
 
 let min_cost = function [] -> infinity | c :: _ -> c
+
+(* Ambiguous empty sentinel: [] on the unreachable path is
+   indistinguishable from a legitimately empty result (the old
+   path_from_pred shape). *)
+let route reachable stops = if reachable then 0 :: stops else []
+
+let slots_of ok = if ok then [| 1; 2 |] else [||]

@@ -1,3 +1,5 @@
 val mean_rate : float list -> float
 val best_pair : bool -> int array
 val min_cost : float list -> float
+val route : bool -> int list -> int list
+val slots_of : bool -> int array

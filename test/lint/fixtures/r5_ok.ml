@@ -14,3 +14,15 @@ let min_cost = function
   | c :: _ -> c +. unexported_default () *. 0.0
 
 let fallback_rate empty = if empty then (nan [@ppdc.allow "R5"]) else 0.0
+
+(* Empty-literal returns that must NOT trigger the ambiguous-empty
+   check: an option makes "no route" distinct from "empty route"; the
+   always-empty function has no non-empty path to be confused with;
+   one contract is documented in the mli; one site is allowed. *)
+let route reachable stops = if reachable then Some (0 :: stops) else None
+
+let no_stops () = []
+
+let slots_of ok = if ok then [| 1; 2 |] else [||]
+
+let stale_entries fresh = if fresh then ([] [@ppdc.allow "R5"]) else [ 1 ]

@@ -3,3 +3,8 @@ val mean_rate : float list -> float
 
 val min_cost : float list -> float
 val fallback_rate : bool -> float
+val route : bool -> int list -> int list option
+val no_stops : unit -> int list
+val slots_of : bool -> int array
+[@@ppdc.sentinel "the empty array means the slot table is closed"]
+val stale_entries : bool -> int list

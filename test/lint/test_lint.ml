@@ -64,7 +64,7 @@ let test_trigger_counts () =
       ("r2_bad.ml", 2);
       ("r3_bad.ml", 2);
       ("r4_bad.ml", 3);
-      ("r5_bad.ml", 3);
+      ("r5_bad.ml", 5);
     ]
 
 let test_to_string () =

@@ -1,0 +1,314 @@
+(* Differential oracle for the flat (CSR + Bigarray) graph stack.
+
+   The adjacency representation, the all-pairs storage layout, and the
+   dial shortest-path engine were all replaced at once; this suite pins
+   each replacement against an independent reference:
+
+   - [Legacy]: the old nested [(int * float) array array] adjacency and
+     a scan-minimum Dijkstra with the same tie-break discipline. The
+     CSR engines must reproduce its rows bit-for-bit.
+   - digest: the graph digest serializes the abstract structure only,
+     so it must not move when the adjacency representation does — the
+     RPC server's cost-matrix cache keys depend on that.
+   - solvers: Placement_dp / Placement_opt / Mpareto must be
+     bit-identical whether the cost matrix was computed by the heap or
+     the dial engine, at 1 and at 4 domains. *)
+
+module Graph = Ppdc_topology.Graph
+module Shortest_paths = Ppdc_topology.Shortest_paths
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Fat_tree = Ppdc_topology.Fat_tree
+module Random_topology = Ppdc_topology.Random_topology
+module Rng = Ppdc_prelude.Rng
+module Parallel = Ppdc_prelude.Parallel
+module Workload = Ppdc_traffic.Workload
+module Flow = Ppdc_traffic.Flow
+open Ppdc_core
+
+let with_domains d f =
+  let prev = Parallel.domain_count () in
+  Parallel.set_domains d;
+  Fun.protect ~finally:(fun () -> Parallel.set_domains prev) f
+
+(* --- the legacy oracle ---------------------------------------------------- *)
+
+module Legacy = struct
+  (* Nested adjacency, reconstructed from the abstract edge list the
+     same way the pre-CSR [Graph.make] built it. *)
+  type t = { n : int; adj : (int * float) list array }
+
+  let of_graph g =
+    let n = Graph.num_nodes g in
+    let adj = Array.make n [] in
+    List.iter
+      (fun (u, v, w) ->
+        adj.(u) <- (v, w) :: adj.(u);
+        adj.(v) <- (u, w) :: adj.(v))
+      (Graph.edges g);
+    { n; adj }
+
+  (* Scan-minimum Dijkstra — O(n²), no queue at all, so its settle
+     order is transparently "smallest distance, then smallest index".
+     Same relaxation discipline as the production engines: strict
+     improvement rewrites dist/pred; an equal-cost candidate only pulls
+     pred towards the lower-numbered predecessor while the target is
+     unsettled. Identical float arithmetic (one [+.] per relaxation)
+     means the rows must agree bit-for-bit, not just within epsilon. *)
+  let dijkstra t ~src =
+    let dist = Array.make t.n infinity in
+    let pred = Array.make t.n (-1) in
+    let settled = Array.make t.n false in
+    dist.(src) <- 0.0;
+    pred.(src) <- src;
+    let continue = ref true in
+    while !continue do
+      let u = ref (-1) in
+      for v = 0 to t.n - 1 do
+        if
+          (not settled.(v))
+          && Float.is_finite dist.(v)
+          && (!u = -1 || dist.(v) < dist.(!u))
+        then u := v
+      done;
+      if !u = -1 then continue := false
+      else begin
+        let u = !u in
+        settled.(u) <- true;
+        List.iter
+          (fun (v, w) ->
+            let candidate = dist.(u) +. w in
+            if candidate < dist.(v) then begin
+              dist.(v) <- candidate;
+              pred.(v) <- u
+            end
+            else if
+              Float.equal candidate dist.(v)
+              && (not settled.(v))
+              && u < pred.(v)
+            then pred.(v) <- u)
+          t.adj.(u)
+      end
+    done;
+    (dist, pred)
+end
+
+(* --- graph structure parity ----------------------------------------------- *)
+
+let sorted_neighbors l =
+  List.sort compare (List.map (fun (v, w) -> (v, Int64.bits_of_float w)) l)
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let weighted = Rng.int rng 2 = 0 in
+  let rt =
+    Random_topology.build
+      ?weight:
+        (if weighted then Some (fun () -> Rng.uniform rng ~lo:0.25 ~hi:4.0)
+         else None)
+      ~rng
+      ~num_switches:(3 + Rng.int rng 10)
+      ~extra_edges:(Rng.int rng 12)
+      ~hosts_per_switch:(1 + Rng.int rng 3)
+      ()
+  in
+  rt.graph
+
+let prop_csr_matches_nested_adjacency =
+  QCheck.Test.make ~name:"CSR adjacency = nested-list adjacency" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let legacy = Legacy.of_graph g in
+      let ok = ref true in
+      for u = 0 to Graph.num_nodes g - 1 do
+        let csr = ref [] in
+        Graph.iter_neighbors g u (fun v w -> csr := (v, w) :: !csr);
+        if sorted_neighbors !csr <> sorted_neighbors legacy.adj.(u) then
+          ok := false;
+        if Graph.degree g u <> List.length legacy.adj.(u) then ok := false
+      done;
+      !ok)
+
+let test_digest_known_value () =
+  (* Captured before the CSR refactor; the digest is a function of the
+     abstract structure and must never move with the representation
+     (the RPC server's LRU is keyed by it). *)
+  let ft = Fat_tree.build 4 in
+  Alcotest.(check string) "k=4 fat-tree digest frozen"
+    "6dfc41f3ad6d4a864b9fb1c23a372841"
+    (Graph.digest ft.graph)
+
+let prop_digest_matches_reference_serialization =
+  (* Recompute the documented serialization from the abstract accessors
+     only — independent of any internal layout. *)
+  QCheck.Test.make ~name:"digest = hash of canonical serialization" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let b = Buffer.create 256 in
+      Buffer.add_string b "ppdc.graph/1|";
+      Buffer.add_string b (string_of_int (Graph.num_nodes g));
+      Buffer.add_char b '|';
+      for v = 0 to Graph.num_nodes g - 1 do
+        Buffer.add_char b (if Graph.is_host g v then 'h' else 's')
+      done;
+      List.iter
+        (fun (u, v, w) ->
+          Buffer.add_string b
+            (Printf.sprintf "|%d,%d,%Ld" u v (Int64.bits_of_float w)))
+        (List.sort compare
+           (List.map
+              (fun (u, v, w) -> (min u v, max u v, w))
+              (Graph.edges g)));
+      Digest.to_hex (Digest.string (Buffer.contents b)) = Graph.digest g)
+
+(* --- shortest-path parity -------------------------------------------------- *)
+
+let rows_equal ~n (dist_a, pred_a) (dist_b, pred_b) =
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if Int64.bits_of_float dist_a.(v) <> Int64.bits_of_float dist_b.(v) then
+      ok := false;
+    if pred_a.(v) <> pred_b.(v) then ok := false
+  done;
+  !ok
+
+let prop_dijkstra_matches_legacy =
+  QCheck.Test.make ~name:"CSR dijkstra rows = legacy oracle rows (bit-exact)"
+    ~count:75
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let legacy = Legacy.of_graph g in
+      let n = Graph.num_nodes g in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        let reference = Legacy.dijkstra legacy ~src in
+        if not (rows_equal ~n (Shortest_paths.dijkstra g ~src) reference) then
+          ok := false
+      done;
+      !ok)
+
+let prop_dial_matches_heap =
+  QCheck.Test.make ~name:"dial rows = heap rows on integral weights"
+    ~count:75
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let rt =
+        Random_topology.build
+          ~weight:(fun () -> float_of_int (1 + Rng.int rng 7))
+          ~rng
+          ~num_switches:(3 + Rng.int rng 10)
+          ~extra_edges:(Rng.int rng 12)
+          ~hosts_per_switch:(1 + Rng.int rng 2)
+          ()
+      in
+      let g = rt.graph in
+      let n = Graph.num_nodes g in
+      (match Graph.integral_weights g with
+      | Some _ -> ()
+      | None -> QCheck.Test.fail_report "integral graph not detected");
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        if
+          not
+            (rows_equal ~n
+               (Shortest_paths.dijkstra ~algo:Shortest_paths.Dial g ~src)
+               (Shortest_paths.dijkstra ~algo:Shortest_paths.Heap g ~src))
+        then ok := false
+      done;
+      !ok)
+
+let test_cost_matrix_engine_parity () =
+  let ft = Fat_tree.build 4 in
+  let cm_dial = Cost_matrix.compute ~algo:Shortest_paths.Dial ft.graph in
+  let cm_heap = Cost_matrix.compute ~algo:Shortest_paths.Heap ft.graph in
+  let n = Cost_matrix.num_nodes cm_dial in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if
+        Int64.bits_of_float (Cost_matrix.cost cm_dial u v)
+        <> Int64.bits_of_float (Cost_matrix.cost cm_heap u v)
+      then
+        Alcotest.failf "cost (%d,%d): dial %h vs heap %h" u v
+          (Cost_matrix.cost cm_dial u v)
+          (Cost_matrix.cost cm_heap u v);
+      if Cost_matrix.path cm_dial ~src:u ~dst:v <> Cost_matrix.path cm_heap ~src:u ~dst:v
+      then Alcotest.failf "path (%d,%d) differs between engines" u v
+    done
+  done
+
+(* --- solver parity: dial-built vs heap-built cost matrix ------------------- *)
+
+type solver_bundle = {
+  dp : Placement_dp.outcome;
+  opt : Placement_opt.outcome;
+  mp : Mpareto.outcome;
+}
+
+let solve_bundle ~algo ~domains =
+  with_domains domains (fun () ->
+      let ft = Fat_tree.build 4 in
+      let cm = Cost_matrix.compute ~algo ft.graph in
+      let rng = Rng.create 11 in
+      let flows = Workload.generate_on_fat_tree ~rng ~l:10 ft in
+      let problem = Problem.make ~cm ~flows ~n:3 () in
+      let rates = Flow.base_rates flows in
+      let dp = Placement_dp.solve problem ~rates () in
+      let opt = Placement_opt.solve problem ~rates () in
+      let mp =
+        Mpareto.migrate problem ~rates ~mu:50.0 ~current:dp.placement ()
+      in
+      { dp; opt; mp })
+
+let check_bundles name a b =
+  Alcotest.(check (array int)) (name ^ " dp placement") a.dp.placement
+    b.dp.placement;
+  Alcotest.(check (float 0.0)) (name ^ " dp cost") a.dp.cost b.dp.cost;
+  Alcotest.(check (float 0.0))
+    (name ^ " dp objective") a.dp.objective b.dp.objective;
+  Alcotest.(check (array int)) (name ^ " opt placement") a.opt.placement
+    b.opt.placement;
+  Alcotest.(check (float 0.0)) (name ^ " opt cost") a.opt.cost b.opt.cost;
+  Alcotest.(check (array int)) (name ^ " mpareto migration") a.mp.migration
+    b.mp.migration;
+  Alcotest.(check (float 0.0))
+    (name ^ " mpareto total") a.mp.total_cost b.mp.total_cost;
+  Alcotest.(check (float 0.0))
+    (name ^ " mpareto migration cost") a.mp.migration_cost b.mp.migration_cost;
+  Alcotest.(check (float 0.0))
+    (name ^ " mpareto comm cost") a.mp.comm_cost b.mp.comm_cost;
+  Alcotest.(check int) (name ^ " mpareto moved") a.mp.moved b.mp.moved
+
+let test_solvers_engine_parity () =
+  let heap1 = solve_bundle ~algo:Shortest_paths.Heap ~domains:1 in
+  let dial1 = solve_bundle ~algo:Shortest_paths.Dial ~domains:1 in
+  let dial4 = solve_bundle ~algo:Shortest_paths.Dial ~domains:4 in
+  let heap4 = solve_bundle ~algo:Shortest_paths.Heap ~domains:4 in
+  check_bundles "heap1-vs-dial1" heap1 dial1;
+  check_bundles "heap1-vs-dial4" heap1 dial4;
+  check_bundles "heap1-vs-heap4" heap1 heap4
+
+let qsuite name tests =
+  (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
+
+let () =
+  Alcotest.run "ppdc_flatgraph"
+    [
+      qsuite "adjacency" [ prop_csr_matches_nested_adjacency ];
+      ( "digest",
+        [
+          Alcotest.test_case "frozen k=4 value" `Quick test_digest_known_value;
+        ] );
+      qsuite "digest-properties" [ prop_digest_matches_reference_serialization ];
+      ( "engines",
+        [
+          Alcotest.test_case "cost-matrix dial/heap parity" `Quick
+            test_cost_matrix_engine_parity;
+          Alcotest.test_case "solver outcomes independent of engine/domains"
+            `Quick test_solvers_engine_parity;
+        ] );
+      qsuite "engine-properties"
+        [ prop_dijkstra_matches_legacy; prop_dial_matches_heap ];
+    ]

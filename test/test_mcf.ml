@@ -53,6 +53,50 @@ let test_disconnected_sink () =
   Alcotest.(check int) "no flow" 0 r.flow;
   Alcotest.(check (float 1e-9)) "no cost" 0.0 r.cost
 
+(* Regression: nodes unreachable from the source used to receive a
+   fabricated potential of 0.0 instead of keeping [infinity]. A fake
+   finite potential breaks Johnson's invariant — an arc inside (or out
+   of) the unreachable region can then show a negative reduced cost,
+   which Dijkstra-with-potentials silently mis-handles. *)
+let test_unreachable_potentials_stay_infinite () =
+  (* 0 -> 1 is the reachable part; 2 -> 3 (negative cost) is a region
+     the source cannot reach. *)
+  let net = Mcf.create ~num_nodes:4 in
+  ignore (Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1.0);
+  ignore (Mcf.add_arc net ~src:2 ~dst:3 ~capacity:1 ~cost:(-5.0));
+  let pot = Mcf.initial_potentials net ~source:0 in
+  Alcotest.(check (float 0.0)) "source potential" 0.0 pot.(0);
+  Alcotest.(check (float 0.0)) "reachable potential" 1.0 pot.(1);
+  Alcotest.(check bool) "unreachable node 2 keeps infinity" true
+    (Float.equal pot.(2) infinity);
+  Alcotest.(check bool) "unreachable node 3 keeps infinity" true
+    (Float.equal pot.(3) infinity);
+  (* Johnson invariant over the arcs we added: every capacitated arc
+     between finite-potential nodes has non-negative reduced cost. With
+     the former 0.0 sentinel, the arc 2 -> 3 had both potentials finite
+     and reduced cost -5. *)
+  List.iter
+    (fun (src, dst, cost) ->
+      if Float.is_finite pot.(src) && Float.is_finite pot.(dst) then
+        Alcotest.(check bool) "non-negative reduced cost" true
+          (cost +. pot.(src) -. pot.(dst) >= -1e-9))
+    [ (0, 1, 1.0); (2, 3, -5.0) ]
+
+let test_solve_with_unreachable_negative_region () =
+  (* The unreachable region also points INTO the reachable part with a
+     negative arc; solve must ignore it and still route the reachable
+     flow correctly. *)
+  let net = Mcf.create ~num_nodes:5 in
+  let a = Mcf.add_arc net ~src:0 ~dst:1 ~capacity:2 ~cost:3.0 in
+  let b = Mcf.add_arc net ~src:1 ~dst:2 ~capacity:2 ~cost:1.0 in
+  ignore (Mcf.add_arc net ~src:3 ~dst:4 ~capacity:1 ~cost:(-7.0));
+  ignore (Mcf.add_arc net ~src:4 ~dst:1 ~capacity:1 ~cost:(-50.0));
+  let r = Mcf.solve net ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 2 r.flow;
+  Alcotest.(check (float 1e-9)) "cost ignores unreachable arcs" 8.0 r.cost;
+  Alcotest.(check int) "forward arc a" 2 (Mcf.flow_on net a);
+  Alcotest.(check int) "forward arc b" 2 (Mcf.flow_on net b)
+
 let test_solve_twice_rejected () =
   let net = Mcf.create ~num_nodes:2 in
   ignore (Mcf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:1.0);
@@ -237,6 +281,10 @@ let () =
           Alcotest.test_case "reroutes through residual arcs" `Quick
             test_residual_rerouting;
           Alcotest.test_case "disconnected sink" `Quick test_disconnected_sink;
+          Alcotest.test_case "unreachable potentials stay infinite" `Quick
+            test_unreachable_potentials_stay_infinite;
+          Alcotest.test_case "solve with unreachable negative region" `Quick
+            test_solve_with_unreachable_negative_region;
           Alcotest.test_case "double solve rejected" `Quick
             test_solve_twice_rejected;
           Alcotest.test_case "arc validation" `Quick test_add_arc_validation;

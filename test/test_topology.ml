@@ -247,8 +247,48 @@ let test_dijkstra_simple () =
   let dist, pred = Shortest_paths.dijkstra g ~src:0 in
   Alcotest.(check (float 0.0)) "to self" 0.0 dist.(0);
   Alcotest.(check (float 0.0)) "around the heavy edge" 2.0 dist.(2);
-  Alcotest.(check (list int)) "path avoids the weight-5 edge" [ 0; 1; 2 ]
-    (Shortest_paths.path_from_pred ~pred ~src:0 ~dst:2)
+  Alcotest.(check (option (list int))) "path avoids the weight-5 edge"
+    (Some [ 0; 1; 2 ])
+    (Shortest_paths.path_from_pred ~pred ~src:0 ~dst:2 ())
+
+(* Regression: an edge weight small enough to vanish in float addition
+   ([d +. w = d]) makes a node settle at the same priority as its own
+   ancestor. Without the settled guard on the equal-cost tie-break, the
+   late settler rewrites the already-settled ancestor's predecessor —
+   here pred(1) became 0 while pred(0) = 1, a cycle that sent path
+   extraction into an infinite loop. *)
+let test_dijkstra_settled_guard () =
+  let g =
+    Graph.make
+      ~kinds:[| Host; Switch; Switch; Host |]
+      ~edges:[ (1, 3, 1.0); (0, 1, 1e-300) ]
+  in
+  let dist, pred = Shortest_paths.dijkstra g ~src:3 in
+  Alcotest.(check (float 0.0)) "src" 0.0 dist.(3);
+  Alcotest.(check (float 0.0)) "one hop" 1.0 dist.(1);
+  Alcotest.(check (float 0.0)) "tiny edge vanishes in the sum" 1.0 dist.(0);
+  Alcotest.(check bool) "isolated node unreachable" true
+    (Float.equal dist.(2) infinity);
+  (* Every pred chain must reach the source within n steps; checked
+     BEFORE any path extraction so a reintroduced cycle fails the test
+     instead of hanging it. *)
+  let n = Graph.num_nodes g in
+  for v = 0 to n - 1 do
+    if pred.(v) <> -1 then begin
+      let current = ref v and steps = ref 0 in
+      while !current <> 3 && !steps <= n do
+        current := pred.(!current);
+        incr steps
+      done;
+      Alcotest.(check bool) "pred chain reaches the source" true (!steps <= n)
+    end
+  done;
+  Alcotest.(check int) "pred of 1 frozen at settlement" 3 pred.(1);
+  Alcotest.(check (option (list int))) "path through the tiny edge"
+    (Some [ 3; 1; 0 ])
+    (Shortest_paths.path_from_pred ~pred ~src:3 ~dst:0 ());
+  Alcotest.(check (option (list int))) "unreachable destination is None" None
+    (Shortest_paths.path_from_pred ~pred ~src:3 ~dst:2 ())
 
 let test_cost_matrix_metric_properties () =
   let ft = Fat_tree.build 4 in
@@ -335,6 +375,37 @@ let prop_dijkstra_tree_consistent =
         (Graph.edges rt.graph);
       !ok)
 
+let prop_path_cost_matches_dist =
+  QCheck.Test.make ~name:"extracted path cost equals dijkstra distance"
+    ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let rt =
+        Random_topology.build
+          ~weight:(fun () -> Rng.uniform rng ~lo:0.5 ~hi:3.0)
+          ~rng ~num_switches:12 ~extra_edges:8 ~hosts_per_switch:2 ()
+      in
+      let g = rt.graph in
+      let n = Graph.num_nodes g in
+      let src = Rng.int rng n in
+      let dist, pred = Shortest_paths.dijkstra g ~src in
+      let ok = ref true in
+      for dst = 0 to n - 1 do
+        match Shortest_paths.path_from_pred ~pred ~src ~dst () with
+        | None -> ok := false (* the builder always yields connected graphs *)
+        | Some p ->
+            let rec walk_cost = function
+              | a :: (b :: _ as rest) -> (
+                  match Graph.edge_weight g a b with
+                  | Some w -> w +. walk_cost rest
+                  | None -> infinity (* consecutive nodes must share an edge *))
+              | _ -> 0.0
+            in
+            if Float.abs (walk_cost p -. dist.(dst)) > 1e-9 then ok := false
+      done;
+      !ok)
+
 (* --- dot export ----------------------------------------------------------- *)
 
 let test_dot_export () =
@@ -411,6 +482,8 @@ let () =
         [
           Alcotest.test_case "dijkstra picks the cheap detour" `Quick
             test_dijkstra_simple;
+          Alcotest.test_case "tie-break frozen at settlement (pred cycle)"
+            `Quick test_dijkstra_settled_guard;
           Alcotest.test_case "metric: identity/symmetry/triangle" `Quick
             test_cost_matrix_metric_properties;
           Alcotest.test_case "extracted paths match costs" `Quick
@@ -423,5 +496,6 @@ let () =
         ] );
       ( "dot",
         [ Alcotest.test_case "graphviz export" `Quick test_dot_export ] );
-      qsuite "shortest-paths-properties" [ prop_dijkstra_tree_consistent ];
+      qsuite "shortest-paths-properties"
+        [ prop_dijkstra_tree_consistent; prop_path_cost_matches_dist ];
     ]

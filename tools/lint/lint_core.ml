@@ -392,6 +392,7 @@ let check_r5 ctx (str : structure) =
                          && is_function vb.vb_expr ->
                       with_allows ctx (allow_tokens vb.vb_attributes)
                         (fun () ->
+                          let tails = tail_exprs vb.vb_expr [] in
                           List.iter
                             (fun (t : expression) ->
                               if sentinel_value t then
@@ -406,7 +407,44 @@ let check_r5 ctx (str : structure) =
                                           the mli with [@@ppdc.sentinel \
                                           \"reason\"] or raise instead"
                                          name)))
-                            (tail_exprs vb.vb_expr []))
+                            tails;
+                          (* An empty-literal return mixed with non-empty
+                             returns is the ambiguous-sentinel shape the
+                             old [path_from_pred] shipped: [] meant
+                             "unreachable" but was indistinguishable from
+                             a legitimately empty result. *)
+                          let empty_literal (t : expression) =
+                            match t.exp_desc with
+                            | Texp_construct (_, cd, []) ->
+                                String.equal cd.cstr_name "[]"
+                            | Texp_array [] -> true
+                            | _ -> false
+                          in
+                          if
+                            List.exists
+                              (fun t -> not (empty_literal t))
+                              tails
+                          then
+                            List.iter
+                              (fun (t : expression) ->
+                                if empty_literal t then
+                                  with_allows ctx
+                                    (allow_tokens t.exp_attributes)
+                                    (fun () ->
+                                      report ctx t.exp_loc "R5"
+                                        (Printf.sprintf
+                                           "exported `%s` returns the empty \
+                                            literal on one path and a \
+                                            non-empty result on another; \
+                                            [] / [||] is an ambiguous \
+                                            sentinel callers cannot tell \
+                                            from a legitimately empty \
+                                            result — return an \
+                                            option/variant or document the \
+                                            contract in the mli with \
+                                            [@@ppdc.sentinel \"reason\"]"
+                                           name)))
+                              tails)
                   | _ -> ())
                 vbs
           | _ -> ())
