@@ -1,0 +1,194 @@
+(* Shared harness for the committed `ppdc.bench/1` benchmarks
+   (flatgraph, dynamic).
+
+   Each benchmark records named entries as the minimum wall time over
+   several repetitions — timer noise on a shared VM is one-sided:
+   interference only ever adds time — on the monotonic clock
+   ({!Ppdc_prelude.Clock}; an NTP step mid-run must not fabricate a
+   regression). The JSON artifact, the `--check` regression gate and
+   the CLI surface (`--out`/`--check`/`--tolerance`/`--quick`/
+   `--absolute`, PPDC_BENCH_MODE / PPDC_BENCH_TOLERANCE) are shared so
+   every bench gates the same way in CI.
+
+   Raw seconds are not comparable across machines, so `--check`
+   normalizes every entry by the benchmark's reference entry measured
+   in the same run: an entry regresses when its normalized time
+   exceeds the baseline's normalized time by more than the tolerance
+   (default 10%). A uniform machine-wide slowdown cancels out; a
+   change that slows one path relative to the others fails the gate.
+   Pass `--absolute` on the machine that recorded the baseline to gate
+   on raw seconds as well. *)
+
+module Json = Ppdc_prelude.Json
+module Clock = Ppdc_prelude.Clock
+module Parallel = Ppdc_prelude.Parallel
+
+type entry = { name : string; seconds : float; reps : int }
+
+let time f =
+  let t0 = Clock.now () in
+  let r = f () in
+  (Clock.elapsed_s ~since:t0, r)
+
+let min_time ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t, r = time f in
+    ignore (Sys.opaque_identity r);
+    if t < !best then best := t
+  done;
+  !best
+
+type recorder = { mutable entries : entry list (* newest first *) }
+
+let record t name ~reps f =
+  let seconds = min_time ~reps f in
+  Printf.eprintf "  %-22s %8.3fs (min of %d)\n%!" name seconds reps;
+  t.entries <- { name; seconds; reps } :: t.entries
+
+let to_json ~quick ~reference entries =
+  Json.Obj
+    [
+      ("schema", Json.Str "ppdc.bench/1");
+      ("domains", Json.Num (float_of_int (Parallel.domain_count ())));
+      ("mode", Json.Str (if quick then "quick" else "full"));
+      ("reference", Json.Str reference);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("name", Json.Str e.name);
+                   ("seconds", Json.Num e.seconds);
+                   ("reps", Json.Num (float_of_int e.reps));
+                 ])
+             entries) );
+    ]
+
+let entries_of_json j =
+  let fail msg = failwith ("bad baseline: " ^ msg) in
+  (match Json.member "schema" j with
+  | Some (Json.Str "ppdc.bench/1") -> ()
+  | _ -> fail "schema is not ppdc.bench/1");
+  match Json.member "entries" j with
+  | Some (Json.List l) ->
+      List.map
+        (fun e ->
+          match (Json.member "name" e, Json.member "seconds" e) with
+          | Some (Json.Str name), Some (Json.Num seconds) ->
+              { name; seconds; reps = 0 }
+          | _ -> fail "entry missing name/seconds")
+        l
+  | _ -> fail "no entries array"
+
+let find name l = List.find_opt (fun e -> String.equal e.name name) l
+
+let check ~reference ~tolerance ~absolute ~baseline entries =
+  let reference_of l =
+    match find reference l with
+    | Some e when e.seconds > 0.0 -> e.seconds
+    | _ -> failwith ("missing reference entry " ^ reference)
+  in
+  let base_ref = reference_of baseline and cur_ref = reference_of entries in
+  let failures = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun base ->
+      match find base.name entries with
+      | None ->
+          (* Quick mode omits the large entries; absence narrows the
+             gate, it is not a regression. *)
+          Printf.printf "SKIP %-22s (not measured in this run)\n" base.name
+      | Some cur ->
+          incr compared;
+          let judge label base_v cur_v =
+            let limit = base_v *. (1.0 +. tolerance) in
+            if cur_v > limit then incr failures;
+            Printf.printf
+              "%-4s %-22s %-10s base %10.4f  now %10.4f  (limit %10.4f)\n"
+              (if cur_v > limit then "FAIL" else "ok")
+              base.name label base_v cur_v limit
+          in
+          judge "normalized" (base.seconds /. base_ref) (cur.seconds /. cur_ref);
+          if absolute then judge "seconds" base.seconds cur.seconds)
+    baseline;
+  if !compared = 0 then failwith "baseline and run share no entries";
+  if !failures > 0 then begin
+    Printf.printf "bench-check: %d regression(s) beyond %.0f%% tolerance\n"
+      !failures (100.0 *. tolerance);
+    exit 1
+  end
+  else
+    Printf.printf "bench-check: ok (%d entries within %.0f%%)\n" !compared
+      (100.0 *. tolerance)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* CLI driver: measure, optionally write the artifact, optionally gate
+   against a baseline, then let the bench enforce its own in-run
+   invariants ([post] — e.g. the dynamic bench's repair-vs-rebuild
+   speedup floor, which is a ratio within one run and therefore
+   machine-independent). *)
+let main ~bench ~reference ?(post = fun ~quick:_ _ -> ()) run =
+  let out = ref None
+  and check_path = ref None
+  and quick = ref (Sys.getenv_opt "PPDC_BENCH_MODE" = Some "quick")
+  and absolute = ref false
+  and tolerance =
+    ref
+      (match Sys.getenv_opt "PPDC_BENCH_TOLERANCE" with
+      | Some s -> float_of_string s
+      | None -> 0.10)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+        out := Some path;
+        parse rest
+    | "--check" :: path :: rest ->
+        check_path := Some path;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--absolute" :: rest ->
+        absolute := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: %s [--quick] [--out FILE] [--check BASELINE] [--tolerance \
+           F] [--absolute]\nunknown argument: %s\n"
+          bench arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Parallel.set_domains 1;
+  Printf.eprintf "%s bench (%s, 1 domain):\n%!" bench
+    (if !quick then "quick" else "full");
+  let recorder = { entries = [] } in
+  run ~quick:!quick recorder;
+  let entries = List.rev recorder.entries in
+  (match !out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (to_json ~quick:!quick ~reference entries));
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  (match !check_path with
+  | Some path ->
+      check ~reference ~tolerance:!tolerance ~absolute:!absolute
+        ~baseline:(entries_of_json (Json.parse (read_file path)))
+        entries
+  | None ->
+      if !out = None then
+        print_endline (Json.to_string (to_json ~quick:!quick ~reference entries)));
+  post ~quick:!quick entries

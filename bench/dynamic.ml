@@ -1,0 +1,81 @@
+(* Dynamic-repair bench: the committed trajectory of incremental
+   cost-matrix repair (BENCH_dynamic.json).
+
+   A single switch-switch link fails on a k=16 (and, in full mode,
+   k=32) fat-tree; we measure deriving the degraded all-pairs matrix
+   two ways: a cold [Cost_matrix.compute] of the degraded graph
+   (rebuild) versus [Cost_matrix.repair_to] from the healthy parent's
+   matrix (repair — copy the flat matrices, re-run Dijkstra only for
+   sources whose shortest-path tree used the failed link). Both
+   produce bit-identical matrices; the differential tests in
+   test/test_dynamic.ml hold that line, this bench holds the speed.
+
+   Besides the usual normalized `--check` gate, the bench enforces an
+   in-run floor: on k=32 repair must beat rebuild by at least 5× (a
+   ratio within one run, so the gate is machine-independent and runs
+   on every CI invocation in full mode). *)
+
+module Bench = Bench_common
+module Rng = Ppdc_prelude.Rng
+module Graph = Ppdc_topology.Graph
+module Fat_tree = Ppdc_topology.Fat_tree
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Failures = Ppdc_extensions.Failures
+
+let reference_entry = "rebuild_k16"
+let speedup_floor = 5.0
+
+(* Degrade a fat-tree by exactly one switch-switch link: a fraction
+   that buys ⌊1.01⌋ = 1 link under fail_links' floor semantics. *)
+let fail_one_link ~seed g =
+  let switch_links =
+    List.length
+      (List.filter
+         (fun (u, v, _) -> Graph.is_switch g u && Graph.is_switch g v)
+         (Graph.edges g))
+  in
+  let fraction = 1.01 /. float_of_int switch_links in
+  let degraded, failed = Failures.fail_links ~rng:(Rng.create seed) ~fraction g in
+  if List.length failed <> 1 then
+    failwith "dynamic bench: expected exactly one failed link";
+  degraded
+
+let repair_or_die parent degraded =
+  match Cost_matrix.repair_to parent degraded with
+  | Some r -> r
+  | None -> failwith "dynamic bench: repair_to refused a pure deletion"
+
+let scenario t ~k ~reps =
+  let ft = Fat_tree.build k in
+  let parent = Cost_matrix.compute ft.graph in
+  let degraded = fail_one_link ~seed:7 ft.graph in
+  let _, rows = repair_or_die parent degraded in
+  Printf.eprintf "  k=%-2d: 1 link failed, %d of %d rows re-run\n%!" k rows
+    (Cost_matrix.num_nodes parent);
+  Bench.record t (Printf.sprintf "rebuild_k%d" k) ~reps (fun () ->
+      Cost_matrix.compute degraded);
+  Bench.record t (Printf.sprintf "repair_k%d" k) ~reps (fun () ->
+      repair_or_die parent degraded)
+
+let run ~quick t =
+  scenario t ~k:16 ~reps:5;
+  if not quick then scenario t ~k:32 ~reps:3
+
+(* The acceptance floor: k=32 single-link repair ≥ 5× faster than the
+   cold rebuild, measured in this very run. *)
+let post ~quick entries =
+  if not quick then
+    match (Bench.find "rebuild_k32" entries, Bench.find "repair_k32" entries) with
+    | Some rebuild, Some repair ->
+        let speedup = rebuild.Bench.seconds /. repair.Bench.seconds in
+        Printf.printf "repair_k32 speedup over rebuild: %.1fx (floor %.0fx)\n"
+          speedup speedup_floor;
+        if speedup < speedup_floor then begin
+          Printf.printf
+            "bench-check: single-link repair lost its %.0fx advantage\n"
+            speedup_floor;
+          exit 1
+        end
+    | _ -> failwith "dynamic bench: k=32 entries missing in full mode"
+
+let () = Bench.main ~bench:"dynamic" ~reference:reference_entry ~post run

@@ -2,23 +2,11 @@
    Bigarray cost-matrix stack (BENCH_flatgraph.json).
 
    Measures all-pairs shortest paths on k=16/k=32 fat-trees (dial and
-   forced-heap engines) and an Algo. 3 placement solve, takes the
-   minimum over several repetitions (timer noise on a shared VM is
-   one-sided: interference only ever adds time), and emits
-   `ppdc.bench/1` JSON.
+   forced-heap engines) and an Algo. 3 placement solve. Timing,
+   artifact format and the normalized `--check` regression gate live
+   in {!Bench_common}. *)
 
-   `--check BASELINE` is the CI gate. Raw seconds are not comparable
-   across machines, so the gate normalizes every entry by the reference
-   entry (all_pairs_k16_auto) measured in the same run: an entry
-   regresses when its normalized time exceeds the baseline's normalized
-   time by more than the tolerance (default 10%; `--tolerance` or
-   PPDC_BENCH_TOLERANCE). A uniform machine-wide slowdown cancels out;
-   a change that slows one path relative to the others fails the gate.
-   Pass `--absolute` on the machine that recorded the baseline to gate
-   on raw seconds as well. *)
-
-module Json = Ppdc_prelude.Json
-module Parallel = Ppdc_prelude.Parallel
+module Bench = Bench_common
 module Rng = Ppdc_prelude.Rng
 module Fat_tree = Ppdc_topology.Fat_tree
 module Cost_matrix = Ppdc_topology.Cost_matrix
@@ -28,37 +16,17 @@ module Flow = Ppdc_traffic.Flow
 
 let reference_entry = "all_pairs_k16_auto"
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (Unix.gettimeofday () -. t0, r)
-
-let min_time ~reps f =
-  let best = ref infinity in
-  for _ = 1 to reps do
-    let t, r = time f in
-    ignore (Sys.opaque_identity r);
-    if t < !best then best := t
-  done;
-  !best
-
-type entry = { name : string; seconds : float; reps : int }
-
-let run_entries ~quick =
-  let entries = ref [] in
-  let record name reps f =
-    let seconds = min_time ~reps f in
-    Printf.eprintf "  %-22s %8.3fs (min of %d)\n%!" name seconds reps;
-    entries := { name; seconds; reps } :: !entries
-  in
+let run ~quick t =
   let ft16 = Fat_tree.build 16 in
-  record reference_entry 5 (fun () -> Cost_matrix.compute ft16.graph);
-  record "all_pairs_k16_heap" 5 (fun () ->
+  Bench.record t reference_entry ~reps:5 (fun () ->
+      Cost_matrix.compute ft16.graph);
+  Bench.record t "all_pairs_k16_heap" ~reps:5 (fun () ->
       Cost_matrix.compute ~algo:Shortest_paths.Heap ft16.graph);
   if not quick then begin
     let ft32 = Fat_tree.build 32 in
-    record "all_pairs_k32_dial" 3 (fun () -> Cost_matrix.compute ft32.graph);
-    record "all_pairs_k32_heap" 3 (fun () ->
+    Bench.record t "all_pairs_k32_dial" ~reps:3 (fun () ->
+        Cost_matrix.compute ft32.graph);
+    Bench.record t "all_pairs_k32_heap" ~reps:3 (fun () ->
         Cost_matrix.compute ~algo:Shortest_paths.Heap ft32.graph)
   end;
   let ft8 = Fat_tree.build 8 in
@@ -67,144 +35,7 @@ let run_entries ~quick =
   let flows = Workload.generate_on_fat_tree ~rng ~l:64 ft8 in
   let problem = Ppdc_core.Problem.make ~cm:cm8 ~flows ~n:4 () in
   let rates = Flow.base_rates flows in
-  record "placement_dp_k8_n4" 5 (fun () ->
-      Ppdc_core.Placement_dp.solve problem ~rates ());
-  List.rev !entries
+  Bench.record t "placement_dp_k8_n4" ~reps:5 (fun () ->
+      Ppdc_core.Placement_dp.solve problem ~rates ())
 
-let to_json ~quick entries =
-  Json.Obj
-    [
-      ("schema", Json.Str "ppdc.bench/1");
-      ("domains", Json.Num (float_of_int (Parallel.domain_count ())));
-      ("mode", Json.Str (if quick then "quick" else "full"));
-      ("reference", Json.Str reference_entry);
-      ( "entries",
-        Json.List
-          (List.map
-             (fun e ->
-               Json.Obj
-                 [
-                   ("name", Json.Str e.name);
-                   ("seconds", Json.Num e.seconds);
-                   ("reps", Json.Num (float_of_int e.reps));
-                 ])
-             entries) );
-    ]
-
-let entries_of_json j =
-  let fail msg = failwith ("bad baseline: " ^ msg) in
-  (match Json.member "schema" j with
-  | Some (Json.Str "ppdc.bench/1") -> ()
-  | _ -> fail "schema is not ppdc.bench/1");
-  match Json.member "entries" j with
-  | Some (Json.List l) ->
-      List.map
-        (fun e ->
-          match (Json.member "name" e, Json.member "seconds" e) with
-          | Some (Json.Str name), Some (Json.Num seconds) ->
-              { name; seconds; reps = 0 }
-          | _ -> fail "entry missing name/seconds")
-        l
-  | _ -> fail "no entries array"
-
-let check ~tolerance ~absolute ~baseline entries =
-  let find name l = List.find_opt (fun e -> String.equal e.name name) l in
-  let reference l =
-    match find reference_entry l with
-    | Some e when e.seconds > 0.0 -> e.seconds
-    | _ -> failwith ("missing reference entry " ^ reference_entry)
-  in
-  let base_ref = reference baseline and cur_ref = reference entries in
-  let failures = ref 0 in
-  let compared = ref 0 in
-  List.iter
-    (fun base ->
-      match find base.name entries with
-      | None ->
-          (* Quick mode omits the k=32 entries; absence narrows the
-             gate, it is not a regression. *)
-          Printf.printf "SKIP %-22s (not measured in this run)\n" base.name
-      | Some cur ->
-          incr compared;
-          let judge label base_v cur_v =
-            let limit = base_v *. (1.0 +. tolerance) in
-            if cur_v > limit then incr failures;
-            Printf.printf
-              "%-4s %-22s %-10s base %10.4f  now %10.4f  (limit %10.4f)\n"
-              (if cur_v > limit then "FAIL" else "ok")
-              base.name label base_v cur_v limit
-          in
-          judge "normalized" (base.seconds /. base_ref) (cur.seconds /. cur_ref);
-          if absolute then judge "seconds" base.seconds cur.seconds)
-    baseline;
-  if !compared = 0 then failwith "baseline and run share no entries";
-  if !failures > 0 then begin
-    Printf.printf "bench-check: %d regression(s) beyond %.0f%% tolerance\n"
-      !failures (100.0 *. tolerance);
-    exit 1
-  end
-  else
-    Printf.printf "bench-check: ok (%d entries within %.0f%%)\n" !compared
-      (100.0 *. tolerance)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let () =
-  let out = ref None
-  and check_path = ref None
-  and quick = ref (Sys.getenv_opt "PPDC_BENCH_MODE" = Some "quick")
-  and absolute = ref false
-  and tolerance =
-    ref
-      (match Sys.getenv_opt "PPDC_BENCH_TOLERANCE" with
-      | Some s -> float_of_string s
-      | None -> 0.10)
-  in
-  let rec parse = function
-    | [] -> ()
-    | "--out" :: path :: rest ->
-        out := Some path;
-        parse rest
-    | "--check" :: path :: rest ->
-        check_path := Some path;
-        parse rest
-    | "--tolerance" :: v :: rest ->
-        tolerance := float_of_string v;
-        parse rest
-    | "--quick" :: rest ->
-        quick := true;
-        parse rest
-    | "--absolute" :: rest ->
-        absolute := true;
-        parse rest
-    | arg :: _ ->
-        Printf.eprintf
-          "usage: flatgraph [--quick] [--out FILE] [--check BASELINE] \
-           [--tolerance F] [--absolute]\nunknown argument: %s\n"
-          arg;
-        exit 2
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  Parallel.set_domains 1;
-  Printf.eprintf "flatgraph bench (%s, 1 domain):\n%!"
-    (if !quick then "quick" else "full");
-  let entries = run_entries ~quick:!quick in
-  (match !out with
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Json.to_string (to_json ~quick:!quick entries));
-      output_char oc '\n';
-      close_out oc
-  | None -> ());
-  match !check_path with
-  | Some path ->
-      check ~tolerance:!tolerance ~absolute:!absolute
-        ~baseline:(entries_of_json (Json.parse (read_file path)))
-        entries
-  | None ->
-      if !out = None then
-        print_endline (Json.to_string (to_json ~quick:!quick entries))
+let () = Bench.main ~bench:"flatgraph" ~reference:reference_entry run

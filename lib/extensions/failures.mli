@@ -14,11 +14,15 @@ val fail_links :
   Ppdc_topology.Graph.t ->
   Ppdc_topology.Graph.t * (int * int) list
 (** [fail_links ~rng ~fraction g] removes up to
-    [fraction · (#switch-switch links)] randomly chosen switch-switch
+    [⌊fraction · (#switch-switch links)⌋] randomly chosen switch-switch
     links, skipping any removal that would disconnect the graph.
-    Returns the degraded graph and the failed links (possibly fewer than
-    requested if connectivity kept blocking candidates). Raises
-    [Invalid_argument] if [fraction] is outside [0, 1]. *)
+    Returns the degraded graph and the failed links in the order they
+    failed (possibly fewer than requested if connectivity kept blocking
+    candidates). When the budget is zero — [fraction = 0.], a fraction
+    too small to buy one whole link, or a fabric with no switch-switch
+    links — the input graph is returned unchanged (same value, same
+    digest) with an empty failure list. Raises [Invalid_argument] if
+    [fraction] is outside [0, 1] or not finite. *)
 
 type impact = {
   failed : (int * int) list;
@@ -37,5 +41,8 @@ val impact :
   rates:float array ->
   placement:Ppdc_core.Placement.t ->
   impact
-(** One failure episode: degrade the fabric, recompute the cost matrix,
-    re-evaluate the placement, and let mPareto respond. *)
+(** One failure episode: degrade the fabric, derive the degraded cost
+    matrix incrementally ({!Ppdc_topology.Cost_matrix.repair_to} — only
+    rows whose shortest-path trees used a failed link are re-run;
+    bit-identical to a cold recompute), re-evaluate the placement, and
+    let mPareto respond. *)

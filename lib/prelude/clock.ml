@@ -1,0 +1,3 @@
+external now : unit -> float = "ppdc_clock_monotonic_s"
+
+let elapsed_s ~since = now () -. since

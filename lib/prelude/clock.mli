@@ -1,0 +1,24 @@
+(** Monotonic time source for durations and deadlines.
+
+    [Unix.gettimeofday] follows the wall clock: an NTP step (or a
+    manual clock adjustment) moves it backwards or forwards by an
+    arbitrary amount, which turns measured latencies negative and makes
+    absolute deadlines fire early or never. Everything in this repo
+    that measures a {e duration} or arms a {e deadline} — request
+    latency, uptime, [Obs] spans, the server's admission-control
+    deadlines, bench timers — goes through this module instead, which
+    reads [CLOCK_MONOTONIC] via a local C stub (the OCaml [Unix]
+    library does not expose [clock_gettime]).
+
+    The epoch is arbitrary (typically system boot): values are only
+    meaningful relative to other {!now} readings from the same process.
+    Never mix them with [Unix.gettimeofday] instants. *)
+
+val now : unit -> float
+(** Seconds on the monotonic clock, arbitrary epoch. Successive calls
+    never decrease. Resolution is the platform clock's (nanoseconds on
+    Linux), well below the double-precision ulp at typical uptimes. *)
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since:t0] is [now () -. t0] — non-negative whenever
+    [t0] came from {!now} earlier in this process. *)

@@ -1,0 +1,19 @@
+/* Monotonic clock for Ppdc_prelude.Clock.
+ *
+ * OCaml's Unix library exposes only gettimeofday, which steps whenever
+ * NTP (or an operator) adjusts the wall clock — a stepped clock turns
+ * request latencies negative and fires spurious deadline errors.
+ * CLOCK_MONOTONIC never steps, so durations and deadlines computed
+ * from it are immune.  One tiny stub keeps the prelude free of
+ * external dependencies. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ppdc_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

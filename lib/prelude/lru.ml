@@ -67,6 +67,11 @@ let find t k =
       t.miss_count <- t.miss_count + 1;
       None
 
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node -> Some node.value
+  | None -> None
+
 let evict_lru t =
   match t.tail with
   | None -> ()

@@ -40,6 +40,12 @@ val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> bool * 'v
 val mem : ('k, 'v) t -> 'k -> bool
 (** Presence test; does not refresh recency or touch the counters. *)
 
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Lookup that does not refresh recency and does not touch the
+    hit/miss counters — for secondary uses of a cached value (e.g.
+    reading a parent cost matrix as the seed of an incremental repair)
+    that should not perturb the cache's observable behaviour. *)
+
 val hits : ('k, 'v) t -> int
 
 val misses : ('k, 'v) t -> int

@@ -16,7 +16,8 @@ let env_path () =
   | Some p when String.trim p <> "" -> Some p
   | _ -> None
 
-let now () = Unix.gettimeofday ()
+(* Monotonic, not gettimeofday: span durations must survive NTP steps. *)
+let now () = Clock.now ()
 
 (* --- growable sample buffer ------------------------------------------- *)
 

@@ -42,8 +42,9 @@ val env_path : unit -> string option
     non-empty. Reading it does not enable the layer. *)
 
 val now : unit -> float
-(** Wall-clock seconds (arbitrary epoch); for span math around code the
-    {!time} combinator cannot wrap. *)
+(** Monotonic seconds ({!Clock.now}, arbitrary epoch); for span math
+    around code the {!time} combinator cannot wrap. Durations built
+    from it are immune to wall-clock (NTP) steps. *)
 
 val incr : ?by:int -> string -> unit
 (** Add [by] (default 1) to a named monotonic counter. No-op when

@@ -1,4 +1,5 @@
 module Json = Ppdc_prelude.Json
+module Clock = Ppdc_prelude.Clock
 module Lru = Ppdc_prelude.Lru
 module Obs = Ppdc_prelude.Obs
 module Rng = Ppdc_prelude.Rng
@@ -34,8 +35,15 @@ type session = {
   mutable rates : float array;
   n : int;
   mutable placement : Placement.t option;
-  mutable failed : (int * int) list;  (* all links failed so far *)
+  (* Episode log of every link failed so far, kept newest-first so each
+     episode is a constant-time [List.rev_append] instead of the former
+     [old @ new] — which re-copied the whole log every episode and made
+     a long failure stream quadratic. Readers use [failed_links]. *)
+  mutable failed_rev : (int * int) list;
+  mutable failed_count : int;
 }
+
+let failed_links (s : session) = List.rev s.failed_rev
 
 type method_stats = {
   mutable calls : int;
@@ -61,6 +69,14 @@ type t = {
   mutable errors : int;
   mutable deadline_errors : int;
   mutable load_probe : (unit -> load) option;
+  (* Cost-matrix provenance counters, guarded by [cache_mutex] (both
+     are only touched while the cache is): [cm_rebuilds] counts cold
+     all-pairs computes, [cm_repairs] counts matrices derived
+     incrementally from a cached parent. A healthy dynamic fabric
+     shows repairs ≫ rebuilds; the ratio regressing towards rebuilds
+     means the fast path stopped firing. *)
+  mutable cm_rebuilds : int;
+  mutable cm_repairs : int;
   stop : bool Atomic.t;
 }
 
@@ -70,12 +86,14 @@ let create ?(cache_capacity = 8) () =
     cache_mutex = Mutex.create ();
     sessions = Hashtbl.create 8;
     registry_mutex = Mutex.create ();
-    started = Unix.gettimeofday ();
+    started = Clock.now ();
     by_method = Hashtbl.create 16;
     total_requests = 0;
     errors = 0;
     deadline_errors = 0;
     load_probe = None;
+    cm_rebuilds = 0;
+    cm_repairs = 0;
     stop = Atomic.make false;
   }
 
@@ -125,6 +143,7 @@ let resolve_cm t (s : session) =
   let hit, cm =
     locked t.cache_mutex (fun () ->
         Lru.find_or_add t.cache s.digest (fun () ->
+            t.cm_rebuilds <- t.cm_rebuilds + 1;
             Obs.time "server.cost_matrix.compute" (fun () ->
                 Cost_matrix.compute s.graph)))
   in
@@ -146,7 +165,7 @@ let health t _params =
       ("status", Str "ok");
       ("schema", Str "ppdc.rpc/1");
       ("version", Str "1.0.0");
-      ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
+      ("uptime_s", fnum (Clock.elapsed_s ~since:t.started));
       ("sessions", num sessions);
     ]
 
@@ -189,7 +208,8 @@ let load_topology t params =
       rates = Flow.base_rates flows;
       n;
       placement = None;
-      failed = [];
+      failed_rev = [];
+      failed_count = 0;
     }
   in
   let replaced =
@@ -263,7 +283,7 @@ let place t params =
   let algo = Option.value ~default:"dp" (Protocol.str_param params "algo") in
   let budget = Protocol.int_param params "budget" in
   let pair_limit = Protocol.int_param params "pair_limit" in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let hit, problem = problem_of t s in
   let rates = s.rates in
   let placement, cost, extra =
@@ -301,7 +321,7 @@ let place t params =
     :: ("placement", placement_json placement)
     :: ("cost", fnum cost)
     :: ("cache_hit", Json.Bool hit)
-    :: ("elapsed_ms", fnum (1000.0 *. (Unix.gettimeofday () -. t0)))
+    :: ("elapsed_ms", fnum (1000.0 *. Clock.elapsed_s ~since:t0))
     :: extra)
 
 let migrate t params =
@@ -318,7 +338,7 @@ let migrate t params =
         reject Invalid_params
           "session has no current placement; call place first"
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let hit, problem = problem_of t s in
   let rates = s.rates in
   let vnf_result migration ~migration_cost ~comm_cost ~total_cost extra =
@@ -387,7 +407,7 @@ let migrate t params =
   Json.Obj
     (("algo", Json.Str algo)
     :: ("cache_hit", Json.Bool hit)
-    :: ("elapsed_ms", fnum (1000.0 *. (Unix.gettimeofday () -. t0)))
+    :: ("elapsed_ms", fnum (1000.0 *. Clock.elapsed_s ~since:t0))
     :: fields)
 
 let rates_update t params =
@@ -443,13 +463,39 @@ let fail_links t params =
     | None -> reject Invalid_params "missing required parameter \"fraction\""
   in
   let seed = Option.value ~default:0 (Protocol.int_param params "seed") in
+  let parent_digest = s.digest in
   let degraded, failed =
     Failures.fail_links ~rng:(Rng.create seed) ~fraction s.graph
   in
   s.graph <- degraded;
   s.digest <- Graph.digest degraded;
-  s.failed <- s.failed @ failed;
-  let cached = locked t.cache_mutex (fun () -> Lru.mem t.cache s.digest) in
+  s.failed_rev <- List.rev_append failed s.failed_rev;
+  s.failed_count <- s.failed_count + List.length failed;
+  (* Incremental repair: the degraded fabric is the parent minus the
+     failed links, so when the parent's matrix is cached we derive the
+     degraded matrix from it (only rows whose shortest-path trees used
+     a failed link re-run) and install it under the new digest — the
+     next [place] is a warm hit instead of a cold all-pairs sweep.
+     [Lru.peek] reads the parent without disturbing recency or the
+     hit/miss counters. *)
+  let repaired, cached =
+    locked t.cache_mutex (fun () ->
+        if Lru.mem t.cache s.digest then (false, true)
+        else
+          match Lru.peek t.cache parent_digest with
+          | None -> (false, false)
+          | Some parent -> (
+              match
+                Obs.time "server.cost_matrix.repair" (fun () ->
+                    Cost_matrix.repair_to parent degraded)
+              with
+              | Some (cm, _rows) ->
+                  Lru.put t.cache s.digest cm;
+                  t.cm_repairs <- t.cm_repairs + 1;
+                  (true, true)
+              | None -> (false, false)))
+  in
+  if repaired then Obs.incr "server.cache.repairs";
   Json.Obj
     [
       ("failed_count", num (List.length failed));
@@ -459,6 +505,7 @@ let fail_links t params =
       ("links", num (Graph.num_edges degraded));
       ("digest", Str s.digest);
       ("cached_cost_matrix", Bool cached);
+      ("repaired_cost_matrix", Bool repaired);
     ]
 
 let stats t _params =
@@ -494,7 +541,14 @@ let stats t _params =
             ("flows", num (Array.length s.flows));
             ("n", num s.n);
             ("placed", Bool (Option.is_some s.placement));
-            ("failed_links", num (List.length s.failed));
+            ("failed_links", num s.failed_count);
+            (* Episode order, oldest first — the log the operator
+               replays to reconstruct the fabric's lineage. *)
+            ( "failed",
+              Json.List
+                (List.map
+                   (fun (u, v) -> Json.List [ num u; num v ])
+                   (failed_links s)) );
             ("digest", Str s.digest);
           ])
       session_list
@@ -527,6 +581,8 @@ let stats t _params =
             ("entries", num (Lru.length t.cache));
             ("hits", num (Lru.hits t.cache));
             ("misses", num (Lru.misses t.cache));
+            ("repairs", num t.cm_repairs);
+            ("rebuilds", num t.cm_rebuilds);
           ])
   in
   let server =
@@ -548,7 +604,7 @@ let stats t _params =
   Json.Obj
     ([
        ("schema", Json.Str "ppdc.rpc/1");
-       ("uptime_s", fnum (Unix.gettimeofday () -. t.started));
+       ("uptime_s", fnum (Clock.elapsed_s ~since:t.started));
        ( "requests",
          Json.Obj
            [
@@ -612,7 +668,7 @@ let handle_line ?deadline t line =
       Protocol.error_response ~id:Json.Null code msg
   | Ok req -> (
       match deadline with
-      | Some d when Float.compare (Unix.gettimeofday ()) d > 0 ->
+      | Some d when Float.compare (Clock.now ()) d > 0 ->
           (* The request spent its whole time budget queued; answer
              without starting the handler so the worker moves on. *)
           locked t.registry_mutex (fun () ->
@@ -623,9 +679,9 @@ let handle_line ?deadline t line =
           Protocol.error_response ~id:req.id Deadline_exceeded
             "request deadline expired before the handler could start"
       | _ -> (
-          let t0 = Unix.gettimeofday () in
+          let t0 = Clock.now () in
           let finish response =
-            record_latency t req.meth (Unix.gettimeofday () -. t0);
+            record_latency t req.meth (Clock.elapsed_s ~since:t0);
             response
           in
           match dispatch t req with

@@ -27,7 +27,15 @@
     [place]/[migrate] resolves its matrix through the cache, so a warm
     query against a fabric the server has seen — including a
     previously seen degraded fabric, whose digest is remembered —
-    skips the Θ(|V|²·log|V|) Dijkstra sweep entirely.
+    skips the Θ(|V|²·log|V|) Dijkstra sweep entirely. [fail_links]
+    additionally derives the degraded fabric's matrix {e incrementally}
+    from the cached parent matrix
+    ({!Ppdc_topology.Cost_matrix.repair_to}: copy the flat matrices,
+    re-run Dijkstra only for sources whose shortest-path trees used a
+    failed link) and installs it under the new digest, so the first
+    [place] after a failure is already a warm hit. The [stats] result
+    reports [cache.repairs] vs [cache.rebuilds] so a regression in the
+    fast path is observable in production.
 
     Every request is counted and timed under an [Obs] span
     ([rpc.<method>]); cache traffic shows up as
@@ -53,7 +61,9 @@ val handle_line : ?deadline:float -> t -> string -> string
     newline). Total: parse errors, unknown methods, bad parameters and
     handler exceptions all come back as [ok: false] responses.
 
-    [deadline] is an absolute [Unix.gettimeofday] instant: if it has
+    [deadline] is an absolute instant on the monotonic clock
+    ({!Ppdc_prelude.Clock.now} timebase — immune to NTP steps, never
+    mix with [Unix.gettimeofday]): if it has
     already passed when the request is about to dispatch, the handler
     is never started and the response is a [deadline_exceeded] error
     (id echoed). A request whose handler has begun always runs to

@@ -1,3 +1,4 @@
+module Clock = Ppdc_prelude.Clock
 module Obs = Ppdc_prelude.Obs
 module Parallel = Ppdc_prelude.Parallel
 module Work_queue = Ppdc_prelude.Work_queue
@@ -42,7 +43,7 @@ let serve_channel ?(max_line = default_max_line) ?request_timeout
     match (request_timeout, first_arrival) with
     | Some rt, Some t0 ->
         let d = t0 +. rt in
-        if Float.compare (Unix.gettimeofday ()) d > 0 then Some d else None
+        if Float.compare (Clock.now ()) d > 0 then Some d else None
     | _ -> None
   in
   let first = ref true in
@@ -63,7 +64,7 @@ let serve_channel ?(max_line = default_max_line) ?request_timeout
           let deadline =
             if !first then first_deadline
             else
-              Option.map (fun rt -> Unix.gettimeofday () +. rt) request_timeout
+              Option.map (fun rt -> Clock.now () +. rt) request_timeout
           in
           first := false;
           respond (Engine.handle_line ?deadline engine l);
@@ -159,7 +160,7 @@ let serve_unix ?max_line ?workers ?(max_pending = default_max_pending)
                   (float_of_int (Work_queue.depth queue));
                 Obs.observe "server.connections.active"
                   (float_of_int (Atomic.get active));
-                match Work_queue.push queue (fd, Unix.gettimeofday ()) with
+                match Work_queue.push queue (fd, Clock.now ()) with
                 | Work_queue.Accepted -> ()
                 | Work_queue.Overloaded | Work_queue.Stopped ->
                     Atomic.incr rejected;
@@ -212,7 +213,7 @@ let call ?timeout ~path requests =
         | None -> (
             match (deadline, timeout) with
             | Some d, Some rt -> (
-                let remaining = d -. Unix.gettimeofday () in
+                let remaining = d -. Clock.now () in
                 if Float.compare remaining 0.0 <= 0 then timeout_fail rt;
                 match Unix.select [ sock ] [] [] remaining with
                 | exception Unix.Unix_error (Unix.EINTR, _, _) ->
@@ -229,7 +230,7 @@ let call ?timeout ~path requests =
         (fun req ->
           send req;
           let deadline =
-            Option.map (fun rt -> Unix.gettimeofday () +. rt) timeout
+            Option.map (fun rt -> Clock.now () +. rt) timeout
           in
           read_line deadline)
         requests)

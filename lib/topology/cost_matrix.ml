@@ -36,6 +36,171 @@ let compute ?algo graph =
   Obs.incr ~by:n "cost_matrix.dijkstra_runs";
   { graph; n; dist; pred }
 
+(* --- dynamic repair ------------------------------------------------------ *)
+
+(* A structural delta that repair can localize: the edge list of the
+   new graph is the old one minus [Delete]d edges, with [Increase]d
+   edges carrying a strictly larger weight. Anything else (an added
+   edge, a weight decrease, a node/kind change) can create new shortest
+   paths from sources whose trees never touched the changed edge, so
+   it cannot be localized by tree membership and forces a cold
+   [compute]. *)
+type change = Delete of int * int | Increase of int * int
+
+(* Diff two canonically sorted edge arrays (u < v, sorted — the
+   [Graph.edges] contract). [None] when [g'] is not a
+   deletions-and-increases-only derivative of [g]. O(|E|). *)
+let diff_changes g g' =
+  let kinds_equal =
+    Graph.num_nodes g = Graph.num_nodes g'
+    && (let ok = ref true in
+        for v = 0 to Graph.num_nodes g - 1 do
+          if Graph.kind g v <> Graph.kind g' v then ok := false
+        done;
+        !ok)
+  in
+  if not kinds_equal then None
+  else begin
+    let old_edges = Array.of_list (Graph.edges g) in
+    let new_edges = Array.of_list (Graph.edges g') in
+    let changes = ref [] in
+    let compatible = ref true in
+    let i = ref 0 and j = ref 0 in
+    let no = Array.length old_edges and nn = Array.length new_edges in
+    while !compatible && (!i < no || !j < nn) do
+      if !j >= nn then begin
+        let u, v, _ = old_edges.(!i) in
+        changes := Delete (u, v) :: !changes;
+        incr i
+      end
+      else if !i >= no then compatible := false (* edge added *)
+      else begin
+        let u, v, w = old_edges.(!i) in
+        let u', v', w' = new_edges.(!j) in
+        match Int.compare u u' with
+        | 0 -> (
+            match Int.compare v v' with
+            | 0 ->
+                (match Float.compare w' w with
+                | 0 -> ()
+                | c when c > 0 -> changes := Increase (u, v) :: !changes
+                | _ -> compatible := false (* weight decrease *));
+                incr i;
+                incr j
+            | c when c < 0 ->
+                changes := Delete (u, v) :: !changes;
+                incr i
+            | _ -> compatible := false (* edge added *))
+        | c when c < 0 ->
+            changes := Delete (u, v) :: !changes;
+            incr i
+        | _ -> compatible := false (* edge added *)
+      end
+    done;
+    if !compatible then Some !changes else None
+  end
+
+(* A source [src] is affected by a change to edge (u, v) exactly when
+   its shortest-path tree uses that edge. Every tree edge appears as
+   exactly one parent link, so the membership test is O(1) per
+   (source, edge): the tree uses (u, v) iff [pred.(v) = u] or
+   [pred.(u) = v] in [src]'s row — no scan of the row is needed.
+
+   Why unaffected rows survive byte-identical: if the tree avoids every
+   changed edge, all its paths exist in [g'] at unchanged cost, and a
+   deletion/increase can only lengthen other paths, so [dist] is
+   unchanged; and since both engines freeze the tree as the
+   lowest-numbered-predecessor tree — a pure function of [dist] and the
+   adjacency (see Shortest_paths) — [pred.(x)] is the least neighbour
+   [y] with [dist.(y) + w(y, x) = dist.(x)]. A deleted edge (u, v) with
+   [pred.(v) <> u] either was not such a candidate or was outranked by
+   a smaller one, so removing it moves nothing; an increased weight
+   only pushes a non-candidate further from candidacy (Dijkstra's
+   invariant gives [dist.(u) + w >= dist.(v)] beforehand). *)
+let row_affected t ~base changes =
+  List.exists
+    (fun c ->
+      let u, v = match c with Delete (u, v) | Increase (u, v) -> (u, v) in
+      t.pred.{base + v} = u || t.pred.{base + u} = v)
+    changes
+
+let repair_rows ?algo t g' changes =
+  Obs.time "cost_matrix.repair" @@ fun () ->
+  let n = t.n in
+  let dist = Shortest_paths.alloc_dist_rows (max (n * n) 1) in
+  let pred = Shortest_paths.alloc_pred_rows (max (n * n) 1) in
+  (* Copy-on-write at matrix granularity: the parent's rows are blitted
+     once (a flat memcpy, no GC traffic) and only affected rows are
+     overwritten, so the parent matrix — possibly still cached under
+     its own digest — is never mutated, and unaffected rows are
+     byte-identical to the parent's by construction. *)
+  Bigarray.Array1.blit t.dist dist;
+  Bigarray.Array1.blit t.pred pred;
+  let affected =
+    Array.init n (fun src -> row_affected t ~base:(src * n) changes)
+  in
+  let repaired = ref 0 in
+  Array.iter (fun a -> if a then incr repaired) affected;
+  Ppdc_prelude.Parallel.parallel_for n (fun src ->
+      if affected.(src) then begin
+        let base = src * n in
+        (Obs.time "cost_matrix.dijkstra" @@ fun () ->
+         Shortest_paths.dijkstra_into ?algo g' ~src ~dist ~pred ~base);
+        for v = base to base + n - 1 do
+          if not (Float.is_finite dist.{v}) then
+            invalid_arg "Cost_matrix.repair: graph is not connected"
+        done
+      end);
+  Obs.incr ~by:!repaired "cost_matrix.repair.rows";
+  Obs.incr "cost_matrix.repair.calls";
+  ({ graph = g'; n; dist; pred }, !repaired)
+
+let repair_to ?algo t g' =
+  match diff_changes t.graph g' with
+  | None -> None
+  | Some [] ->
+      (* Structurally identical fabric: the matrices can be shared as
+         they are; only the graph handle moves. *)
+      Some ({ t with graph = g' }, 0)
+  | Some changes -> Some (repair_rows ?algo t g' changes)
+
+let graph_without_edge g ~u ~v =
+  let found = ref false in
+  let edges =
+    List.filter
+      (fun (a, b, _) ->
+        let hit = (a = u && b = v) || (a = v && b = u) in
+        if hit then found := true;
+        not hit)
+      (Graph.edges g)
+  in
+  if not !found then None
+  else
+    Some
+      (Graph.make
+         ~kinds:(Array.init (Graph.num_nodes g) (Graph.kind g))
+         ~edges)
+
+let delete_edge ?algo t ~u ~v =
+  match graph_without_edge t.graph ~u ~v with
+  | None -> invalid_arg "Cost_matrix.delete_edge: no such edge"
+  | Some g' -> fst (repair_rows ?algo t g' [ Delete (u, v) ])
+
+let increase_weight ?algo t ~u ~v ~weight =
+  match Graph.edge_weight t.graph u v with
+  | None -> invalid_arg "Cost_matrix.increase_weight: no such edge"
+  | Some w when Float.compare weight w < 0 ->
+      invalid_arg
+        "Cost_matrix.increase_weight: new weight is smaller (a decrease \
+         cannot be localized; recompute instead)"
+  | Some w ->
+      let g' =
+        Graph.map_weights t.graph (fun a b wab ->
+            if (a = u && b = v) || (a = v && b = u) then weight else wab)
+      in
+      if Float.compare weight w = 0 then { t with graph = g' }
+      else fst (repair_rows ?algo t g' [ Increase (min u v, max u v) ])
+
 let graph t = t.graph
 
 let cost t u v = t.dist.{(u * t.n) + v}

@@ -20,6 +20,50 @@ val compute : ?algo:Shortest_paths.algo -> Graph.t -> t
 
 val graph : t -> Graph.t
 
+(** {1 Dynamic repair}
+
+    A dynamic fabric mostly changes by link failures and weight drifts
+    upward — exactly the deltas whose effect on all-pairs shortest
+    paths can be localized. A source [s] is affected by a change to
+    edge [(u, v)] iff [s]'s shortest-path tree uses that edge, and
+    because every tree edge appears as exactly one parent link, that
+    test is O(1) per (source, edge) on the predecessor row:
+    [pred(v) = u] or [pred(u) = v]. Repair copies the two flat
+    matrices once (the parent stays valid — it may still be cached
+    under its own digest) and re-runs Dijkstra only for affected rows;
+    unaffected rows are byte-identical to the parent's, and the whole
+    result is bit-identical to a cold {!compute} on the new graph
+    (differentially tested in [test/test_dynamic.ml]).
+
+    Edge additions and weight decreases can create new shortest paths
+    for sources whose trees never touched the edge, so they cannot be
+    localized this way: {!repair_to} refuses them and the caller falls
+    back to {!compute} (see EXTENDING.md). *)
+
+val repair_to : ?algo:Shortest_paths.algo -> t -> Graph.t -> (t * int) option
+(** [repair_to t g'] derives the all-pairs matrix of [g'] from [t]
+    when [g'] differs from [graph t] only by deleted edges and
+    increased edge weights (same node count and kinds). Returns the
+    repaired matrix and the number of rows that were re-run
+    ([Some (t', 0)] with shared matrix storage when the edge lists are
+    identical); [None] when the delta is not localizable — an added
+    edge, a decreased weight, or a node/kind mismatch — in which case
+    the caller should run a cold {!compute}. Raises [Invalid_argument]
+    if a deletion disconnected [g'] (as {!compute} would). *)
+
+val delete_edge : ?algo:Shortest_paths.algo -> t -> u:int -> v:int -> t
+(** [delete_edge t ~u ~v] is the matrix of [graph t] minus the edge
+    [(u, v)], repairing only the rows whose tree used it. Raises
+    [Invalid_argument] if the edge does not exist or its removal
+    disconnects the graph. *)
+
+val increase_weight : ?algo:Shortest_paths.algo -> t -> u:int -> v:int -> weight:float -> t
+(** [increase_weight t ~u ~v ~weight] is the matrix of [graph t] with
+    edge [(u, v)] reweighted to [weight >=] its current weight.
+    Raises [Invalid_argument] if the edge does not exist or [weight]
+    is smaller than the current weight (a decrease cannot be
+    localized — use {!compute}). *)
+
 val cost : t -> int -> int -> float
 (** [cost t u v] is [c(u, v)]; 0 when [u = v]. *)
 

@@ -1,0 +1,342 @@
+(* Differential suite for dynamic APSP repair (Cost_matrix.repair_to /
+   delete_edge / increase_weight).
+
+   The oracle is the full recompute: after any sequence of edge
+   deletions and weight increases, the repaired matrix must be
+   bit-identical — dist by IEEE bit pattern, pred exactly — to a cold
+   [Cost_matrix.compute] on the current graph, for both engines. The
+   repair's whole claim is that rows whose shortest-path trees avoided
+   the touched edges need no work; these tests are what keeps that
+   claim honest. *)
+
+module Graph = Ppdc_topology.Graph
+module Shortest_paths = Ppdc_topology.Shortest_paths
+module Cost_matrix = Ppdc_topology.Cost_matrix
+module Fat_tree = Ppdc_topology.Fat_tree
+module Random_topology = Ppdc_topology.Random_topology
+module Failures = Ppdc_extensions.Failures
+module Rng = Ppdc_prelude.Rng
+module Parallel = Ppdc_prelude.Parallel
+
+let with_domains d f =
+  let prev = Parallel.domain_count () in
+  Parallel.set_domains d;
+  Fun.protect ~finally:(fun () -> Parallel.set_domains prev) f
+
+(* --- helpers ----------------------------------------------------------- *)
+
+let matrices_bit_equal a b =
+  let n = Cost_matrix.num_nodes a in
+  if Cost_matrix.num_nodes b <> n then false
+  else begin
+    let da = Cost_matrix.costs a and db = Cost_matrix.costs b in
+    let ok = ref true in
+    for i = 0 to (n * n) - 1 do
+      if Int64.bits_of_float da.{i} <> Int64.bits_of_float db.{i} then
+        ok := false
+    done;
+    (* pred is not exported raw; extracted paths are a faithful witness
+       of the whole predecessor tree (every node's parent appears on
+       some path), and [path] walks pred directly. *)
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        if Cost_matrix.path a ~src ~dst <> Cost_matrix.path b ~src ~dst then
+          ok := false
+      done
+    done;
+    !ok
+  end
+
+let kinds_of g = Array.init (Graph.num_nodes g) (Graph.kind g)
+
+let connected_without_edge g (u, v) =
+  let uf = Ppdc_prelude.Union_find.create (Graph.num_nodes g) in
+  List.iter
+    (fun (a, b, _) ->
+      if not ((a = u && b = v) || (a = v && b = u)) then
+        ignore (Ppdc_prelude.Union_find.union uf a b))
+    (Graph.edges g);
+  Ppdc_prelude.Union_find.count_sets uf = 1
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let weighted = Rng.int rng 2 = 0 in
+  let rt =
+    Random_topology.build
+      ?weight:
+        (if weighted then Some (fun () -> Rng.uniform rng ~lo:0.25 ~hi:4.0)
+         else None)
+      ~rng
+      ~num_switches:(3 + Rng.int rng 8)
+      ~extra_edges:(Rng.int rng 10)
+      ~hosts_per_switch:(1 + Rng.int rng 3)
+      ()
+  in
+  rt.graph
+
+(* --- the qcheck differential property ---------------------------------- *)
+
+(* Random graph, then a random sequence of deletions and weight
+   increases; at every step the repaired matrix must be bit-equal to a
+   cold compute on the mutated graph. Deletions that would disconnect
+   the graph are skipped (repair would — correctly — raise, as compute
+   does; that contract has its own test below). *)
+let prop_repair_matches_cold_compute =
+  QCheck.Test.make ~name:"repaired matrix = cold compute (bit-exact)"
+    ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 7919) in
+      let g = ref (random_graph seed) in
+      let cm = ref (Cost_matrix.compute !g) in
+      let steps = 2 + Rng.int rng 4 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let edges = Array.of_list (Graph.edges !g) in
+        let u, v, w = edges.(Rng.int rng (Array.length edges)) in
+        let delete = Rng.int rng 2 = 0 in
+        if delete && connected_without_edge !g (u, v) then begin
+          let next = Cost_matrix.delete_edge !cm ~u ~v in
+          g := Cost_matrix.graph next;
+          cm := next
+        end
+        else begin
+          let weight = w *. (1.0 +. Rng.uniform rng ~lo:0.1 ~hi:1.5) in
+          let next = Cost_matrix.increase_weight !cm ~u ~v ~weight in
+          g := Cost_matrix.graph next;
+          cm := next
+        end;
+        if not (matrices_bit_equal !cm (Cost_matrix.compute !g)) then
+          ok := false
+      done;
+      !ok)
+
+(* Same property through the [repair_to] entry point (the server's
+   path): degrade with Failures.fail_links — several links at once —
+   and repair from the healthy parent in one call. *)
+let prop_repair_to_matches_fail_links =
+  QCheck.Test.make ~name:"repair_to over fail_links = cold compute"
+    ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let cm = Cost_matrix.compute g in
+      let degraded, failed =
+        Failures.fail_links ~rng:(Rng.create (seed + 13)) ~fraction:0.3 g
+      in
+      match Cost_matrix.repair_to cm degraded with
+      | None -> QCheck.Test.fail_report "repair_to refused a pure deletion"
+      | Some (repaired, rows) ->
+          if failed = [] && rows <> 0 then
+            QCheck.Test.fail_report "no failures but rows re-ran";
+          matrices_bit_equal repaired (Cost_matrix.compute degraded))
+
+let prop_repair_engine_parity =
+  QCheck.Test.make ~name:"repair rows agree across heap/dial engines"
+    ~count:25
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      (* Unit weights so both engines are available. *)
+      let rng = Rng.create seed in
+      let rt =
+        Random_topology.build ~rng
+          ~num_switches:(3 + Rng.int rng 8)
+          ~extra_edges:(2 + Rng.int rng 8)
+          ~hosts_per_switch:(1 + Rng.int rng 2)
+          ()
+      in
+      let g = rt.graph in
+      let degraded, _ =
+        Failures.fail_links ~rng:(Rng.create (seed + 29)) ~fraction:0.25 g
+      in
+      let repair algo =
+        match
+          Cost_matrix.repair_to ~algo (Cost_matrix.compute ~algo g) degraded
+        with
+        | Some (cm, _) -> cm
+        | None -> QCheck.Test.fail_report "repair_to refused a pure deletion"
+      in
+      matrices_bit_equal
+        (repair Shortest_paths.Heap)
+        (repair Shortest_paths.Dial))
+
+(* --- unit tests -------------------------------------------------------- *)
+
+let test_fat_tree_single_link_locality () =
+  (* One failed link on a fat-tree must not re-run every row: the
+     point of the affected-source characterization is locality. *)
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let degraded, failed =
+    (* fraction chosen so ⌊fraction · 32 switch links⌋ = 1 *)
+    Failures.fail_links ~rng:(Rng.create 5) ~fraction:0.04 ft.graph
+  in
+  Alcotest.(check int) "exactly one link failed" 1 (List.length failed);
+  match Cost_matrix.repair_to cm degraded with
+  | None -> Alcotest.fail "repair_to refused a single deletion"
+  | Some (repaired, rows) ->
+      let n = Cost_matrix.num_nodes cm in
+      Alcotest.(check bool) "some rows repaired" true (rows > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "locality: %d of %d rows re-ran" rows n)
+        true
+        (rows < n);
+      Alcotest.(check bool) "bit-equal to cold compute" true
+        (matrices_bit_equal repaired (Cost_matrix.compute degraded))
+
+let test_repair_shares_storage_when_identical () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  (* Same structure rebuilt from scratch: zero changes, zero rows. *)
+  let clone = Graph.make ~kinds:(kinds_of ft.graph) ~edges:(Graph.edges ft.graph) in
+  match Cost_matrix.repair_to cm clone with
+  | Some (cm', 0) ->
+      Alcotest.(check bool) "dist storage shared" true
+        (Cost_matrix.costs cm' == Cost_matrix.costs cm)
+  | Some (_, rows) -> Alcotest.failf "identical graph re-ran %d rows" rows
+  | None -> Alcotest.fail "identical graph judged incompatible"
+
+let test_repair_refuses_nonlocal_deltas () =
+  let ft = Fat_tree.build 4 in
+  let g = ft.graph in
+  let cm = Cost_matrix.compute g in
+  let kinds = kinds_of g in
+  let edges = Graph.edges g in
+  (* An added edge: pick two switches with no edge between them. *)
+  let sw = Graph.switches g in
+  let extra =
+    let pair = ref None in
+    Array.iter
+      (fun a ->
+        Array.iter
+          (fun b ->
+            if !pair = None && a < b && Graph.edge_weight g a b = None then
+              pair := Some (a, b))
+          sw)
+      sw;
+    Option.get !pair
+  in
+  let added =
+    Graph.make ~kinds ~edges:((fst extra, snd extra, 1.0) :: edges)
+  in
+  Alcotest.(check bool) "edge addition refused" true
+    (Cost_matrix.repair_to cm added = None);
+  (* A weight decrease. *)
+  let u0, v0, w0 = List.hd edges in
+  let decreased =
+    Graph.make ~kinds
+      ~edges:
+        ((u0, v0, w0 /. 2.0)
+        :: List.filter (fun (a, b, _) -> not (a = u0 && b = v0)) edges)
+  in
+  Alcotest.(check bool) "weight decrease refused" true
+    (Cost_matrix.repair_to cm decreased = None);
+  (* A different fabric entirely. *)
+  let other = Fat_tree.build 2 in
+  Alcotest.(check bool) "node-count mismatch refused" true
+    (Cost_matrix.repair_to cm other.graph = None)
+
+let test_delete_edge_contracts () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  Alcotest.check_raises "missing edge"
+    (Invalid_argument "Cost_matrix.delete_edge: no such edge") (fun () ->
+      ignore (Cost_matrix.delete_edge cm ~u:0 ~v:1));
+  (* Deleting a host's only uplink disconnects it: repair must refuse
+     like compute does. *)
+  let host = (Graph.hosts ft.graph).(0) in
+  let uplink =
+    match Graph.neighbors ft.graph host with
+    | (sw, _) :: _ -> sw
+    | [] -> Alcotest.fail "host without uplink"
+  in
+  (try
+     ignore (Cost_matrix.delete_edge cm ~u:host ~v:uplink);
+     Alcotest.fail "disconnecting deletion not rejected"
+   with Invalid_argument _ -> ())
+
+let test_increase_weight_contracts () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let u, v, w = List.hd (Graph.edges ft.graph) in
+  (try
+     ignore (Cost_matrix.increase_weight cm ~u ~v ~weight:(w /. 2.0));
+     Alcotest.fail "decrease not rejected"
+   with Invalid_argument _ -> ());
+  (* Equal weight: nothing to repair, storage shared. *)
+  let same = Cost_matrix.increase_weight cm ~u ~v ~weight:w in
+  Alcotest.(check bool) "equal weight shares storage" true
+    (Cost_matrix.costs same == Cost_matrix.costs cm);
+  (* Order of endpoints must not matter. *)
+  let a = Cost_matrix.increase_weight cm ~u ~v ~weight:(w +. 2.0) in
+  let b = Cost_matrix.increase_weight cm ~u:v ~v:u ~weight:(w +. 2.0) in
+  Alcotest.(check bool) "endpoint order irrelevant" true
+    (matrices_bit_equal a b)
+
+let test_parent_matrix_untouched () =
+  (* The parent may still be cached under its own digest: repair must
+     never mutate it. *)
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let n = Cost_matrix.num_nodes cm in
+  let before = Array.init (n * n) (fun i -> (Cost_matrix.costs cm).{i}) in
+  let degraded, _ =
+    Failures.fail_links ~rng:(Rng.create 5) ~fraction:0.04 ft.graph
+  in
+  (match Cost_matrix.repair_to cm degraded with
+  | Some (_, rows) -> Alcotest.(check bool) "repaired" true (rows > 0)
+  | None -> Alcotest.fail "refused");
+  let after = Cost_matrix.costs cm in
+  let ok = ref true in
+  for i = 0 to (n * n) - 1 do
+    if Int64.bits_of_float before.(i) <> Int64.bits_of_float after.{i} then
+      ok := false
+  done;
+  Alcotest.(check bool) "parent rows unchanged" true !ok
+
+let test_repair_under_domains () =
+  (* The affected-row fan-out goes through the same Parallel pool as
+     compute; the result must not depend on the domain count. *)
+  let ft = Fat_tree.build 4 in
+  let degraded, _ =
+    Failures.fail_links ~rng:(Rng.create 9) ~fraction:0.1 ft.graph
+  in
+  let repair_at d =
+    with_domains d (fun () ->
+        match Cost_matrix.repair_to (Cost_matrix.compute ft.graph) degraded with
+        | Some (cm, _) -> cm
+        | None -> Alcotest.fail "refused")
+  in
+  Alcotest.(check bool) "1-domain = 4-domain repair" true
+    (matrices_bit_equal (repair_at 1) (repair_at 4))
+
+let qsuite name tests =
+  (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
+
+let () =
+  Alcotest.run "ppdc_dynamic"
+    [
+      qsuite "differential"
+        [
+          prop_repair_matches_cold_compute;
+          prop_repair_to_matches_fail_links;
+          prop_repair_engine_parity;
+        ];
+      ( "repair",
+        [
+          Alcotest.test_case "single-link locality on a fat-tree" `Quick
+            test_fat_tree_single_link_locality;
+          Alcotest.test_case "identical graph shares storage" `Quick
+            test_repair_shares_storage_when_identical;
+          Alcotest.test_case "non-local deltas refused" `Quick
+            test_repair_refuses_nonlocal_deltas;
+          Alcotest.test_case "delete_edge contracts" `Quick
+            test_delete_edge_contracts;
+          Alcotest.test_case "increase_weight contracts" `Quick
+            test_increase_weight_contracts;
+          Alcotest.test_case "parent matrix untouched" `Quick
+            test_parent_matrix_untouched;
+          Alcotest.test_case "domain-count independence" `Quick
+            test_repair_under_domains;
+        ] );
+    ]

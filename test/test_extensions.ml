@@ -1,4 +1,5 @@
 module Fat_tree = Ppdc_topology.Fat_tree
+module Random_topology = Ppdc_topology.Random_topology
 module Cost_matrix = Ppdc_topology.Cost_matrix
 module Workload = Ppdc_traffic.Workload
 module Flow = Ppdc_traffic.Flow
@@ -386,6 +387,124 @@ let test_failures_fraction_zero () =
     (Ppdc_topology.Graph.num_edges ft.graph)
     (Ppdc_topology.Graph.num_edges degraded)
 
+let test_failures_floor_semantics () =
+  (* A k=4 fat-tree has 32 switch-switch links. The budget is the
+     floor, not the rounding: 0.049 · 32 = 1.568 buys exactly 1 link,
+     and 0.03 · 32 = 0.96 buys none. *)
+  let ft = Fat_tree.build 4 in
+  let switch_links =
+    List.filter
+      (fun (u, v, _) ->
+        Ppdc_topology.Graph.is_switch ft.graph u
+        && Ppdc_topology.Graph.is_switch ft.graph v)
+      (Ppdc_topology.Graph.edges ft.graph)
+  in
+  Alcotest.(check int) "k=4 switch links" 32 (List.length switch_links);
+  let _, failed =
+    Failures.fail_links ~rng:(Rng.create 1) ~fraction:0.049 ft.graph
+  in
+  Alcotest.(check int) "0.049 buys exactly one link" 1 (List.length failed);
+  let degraded, failed =
+    Failures.fail_links ~rng:(Rng.create 1) ~fraction:0.03 ft.graph
+  in
+  Alcotest.(check int) "0.03 buys nothing" 0 (List.length failed);
+  (* A zero budget returns the input graph itself — same digest, so
+     the server's cache key does not churn. *)
+  Alcotest.(check bool) "zero budget returns the graph unchanged" true
+    (degraded == ft.graph)
+
+let test_failures_no_switch_links () =
+  (* A single switch with hosts has no switch-switch links at all: any
+     fraction is a no-op and the graph comes back unchanged. *)
+  let g =
+    Ppdc_topology.Graph.(
+      make
+        ~kinds:[| Switch; Host; Host |]
+        ~edges:[ (0, 1, 1.0); (0, 2, 1.0) ])
+  in
+  let degraded, failed = Failures.fail_links ~rng:(Rng.create 3) ~fraction:1.0 g in
+  Alcotest.(check int) "nothing to fail" 0 (List.length failed);
+  Alcotest.(check bool) "graph unchanged" true (degraded == g)
+
+let test_failures_rejects_bad_fraction () =
+  let ft = Fat_tree.build 4 in
+  let reject fraction =
+    try
+      ignore (Failures.fail_links ~rng:(Rng.create 1) ~fraction ft.graph);
+      Alcotest.failf "fraction %f accepted" fraction
+    with Invalid_argument _ -> ()
+  in
+  reject (-0.1);
+  reject 1.5;
+  reject Float.nan;
+  reject Float.infinity
+
+let prop_failures_sound =
+  QCheck.Test.make
+    ~name:"degraded stays connected; failures switch-switch, within budget"
+    ~count:60
+    QCheck.(pair (int_bound 10_000) (float_range 0.0 1.0))
+    (fun (seed, fraction) ->
+      let rng = Rng.create (seed + 1) in
+      let rt =
+        Random_topology.build ~rng
+          ~num_switches:(2 + Rng.int rng 10)
+          ~extra_edges:(Rng.int rng 12)
+          ~hosts_per_switch:(1 + Rng.int rng 2)
+          ()
+      in
+      let g = rt.graph in
+      let switch_links =
+        List.length
+          (List.filter
+             (fun (u, v, _) ->
+               Ppdc_topology.Graph.is_switch g u
+               && Ppdc_topology.Graph.is_switch g v)
+             (Ppdc_topology.Graph.edges g))
+      in
+      let budget =
+        int_of_float (fraction *. float_of_int switch_links)
+      in
+      let degraded, failed = Failures.fail_links ~rng ~fraction g in
+      (* compute raises on a disconnected graph *)
+      ignore (Cost_matrix.compute degraded);
+      List.length failed <= budget
+      && List.for_all
+           (fun (u, v) ->
+             Ppdc_topology.Graph.is_switch g u
+             && Ppdc_topology.Graph.is_switch g v)
+           failed
+      && (budget > 0 || degraded == g))
+
+let test_failures_impact_matches_cold_pipeline () =
+  (* impact now repairs the matrix incrementally; with the same RNG
+     seed it must report exactly what the old cold-recompute pipeline
+     did. *)
+  let problem = k4_problem ~l:10 ~n:4 ~seed:6 in
+  let rates = Flow.base_rates (Problem.flows problem) in
+  let placement = (Placement_dp.solve problem ~rates ()).placement in
+  let out =
+    Failures.impact ~rng:(Rng.create 8) ~fraction:0.25 ~mu:100.0 problem
+      ~rates ~placement
+  in
+  let degraded_graph, failed =
+    Failures.fail_links ~rng:(Rng.create 8) ~fraction:0.25
+      (Problem.graph problem)
+  in
+  Alcotest.(check (list (pair int int))) "same failures" failed out.failed;
+  let cold =
+    Problem.make
+      ~cm:(Cost_matrix.compute degraded_graph)
+      ~flows:(Problem.flows problem) ~n:(Problem.n problem) ()
+  in
+  let cost_after = Cost.comm_cost cold ~rates placement in
+  let response = Mpareto.migrate cold ~rates ~mu:100.0 ~current:placement () in
+  Alcotest.(check (float 0.0)) "bit-equal degraded cost" cost_after
+    out.cost_after;
+  Alcotest.(check (float 0.0)) "bit-equal migrated cost" response.total_cost
+    out.cost_migrated;
+  Alcotest.(check int) "same moves" response.moved out.moved
+
 let test_failures_impact_story () =
   let problem = k4_problem ~l:10 ~n:4 ~seed:6 in
   let rates = Flow.base_rates (Problem.flows problem) in
@@ -457,6 +576,15 @@ let () =
             test_failures_preserve_connectivity;
           Alcotest.test_case "fraction 0 is a no-op" `Quick
             test_failures_fraction_zero;
+          Alcotest.test_case "budget is the floor" `Quick
+            test_failures_floor_semantics;
+          Alcotest.test_case "no switch-switch links is a no-op" `Quick
+            test_failures_no_switch_links;
+          Alcotest.test_case "bad fractions rejected" `Quick
+            test_failures_rejects_bad_fraction;
+          QCheck_alcotest.to_alcotest prop_failures_sound;
+          Alcotest.test_case "impact = cold-recompute pipeline" `Quick
+            test_failures_impact_matches_cold_pipeline;
           Alcotest.test_case "degrade-and-respond story" `Quick
             test_failures_impact_story;
         ] );

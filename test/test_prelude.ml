@@ -6,6 +6,7 @@ module Table = Ppdc_prelude.Table
 module Obs = Ppdc_prelude.Obs
 module Json = Ppdc_prelude.Json
 module Lru = Ppdc_prelude.Lru
+module Clock = Ppdc_prelude.Clock
 module Parallel = Ppdc_prelude.Parallel
 
 (* --- priority queue -------------------------------------------------- *)
@@ -486,6 +487,46 @@ let prop_lru_keeps_most_recent =
       Lru.length c <= cap
       && List.for_all (fun k -> Lru.find c k = Some (k * 7)) recent)
 
+let test_lru_peek_leaves_state_alone () =
+  (* peek must answer without touching recency or the hit/miss
+     counters — it exists so the server can read a parent matrix for
+     incremental repair without skewing the cache statistics its tests
+     and operators rely on. *)
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check (option int)) "peek finds" (Some 1) (Lru.peek c "a");
+  Alcotest.(check (option int)) "peek misses silently" None (Lru.peek c "x");
+  Alcotest.(check int) "no hits counted" 0 (Lru.hits c);
+  Alcotest.(check int) "no misses counted" 0 (Lru.misses c);
+  (* "a" was peeked, not touched: it is still the eviction candidate. *)
+  Lru.put c "c" 3;
+  Alcotest.(check bool) "peek did not refresh recency" false (Lru.mem c "a");
+  Alcotest.(check bool) "b survived" true (Lru.mem c "b")
+
+(* --- clock ------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  (* The monotonic clock never runs backwards, even across a sleep —
+     the property Unix.gettimeofday cannot promise (NTP steps). *)
+  let prev = ref (Clock.now ()) in
+  for i = 0 to 999 do
+    if i = 500 then Unix.sleepf 0.001;
+    let t = Clock.now () in
+    if Float.compare t !prev < 0 then
+      Alcotest.failf "clock went backwards: %.9f after %.9f" t !prev;
+    prev := t
+  done
+
+let test_clock_elapsed () =
+  let t0 = Clock.now () in
+  Unix.sleepf 0.01;
+  let dt = Clock.elapsed_s ~since:t0 in
+  Alcotest.(check bool) "elapsed covers the sleep" true
+    (Float.compare dt 0.01 >= 0);
+  Alcotest.(check bool) "elapsed is sane (< 10 s)" true
+    (Float.compare dt 10.0 < 0)
+
 let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
@@ -568,6 +609,15 @@ let () =
             test_lru_put_replaces;
           Alcotest.test_case "find_or_add builds once" `Quick
             test_lru_find_or_add;
+          Alcotest.test_case "peek leaves recency and counters alone" `Quick
+            test_lru_peek_leaves_state_alone;
         ] );
       qsuite "lru-properties" [ prop_lru_keeps_most_recent ];
+      ( "clock",
+        [
+          Alcotest.test_case "monotone nondecreasing" `Quick
+            test_clock_monotone;
+          Alcotest.test_case "elapsed_s spans a sleep" `Quick
+            test_clock_elapsed;
+        ] );
     ]

@@ -5,6 +5,7 @@
    keeps serving. *)
 
 module Json = Ppdc_prelude.Json
+module Clock = Ppdc_prelude.Clock
 module Engine = Ppdc_server.Engine
 
 (* --- response helpers ------------------------------------------------- *)
@@ -158,6 +159,84 @@ let test_engine_fail_links_changes_digest () =
   in
   Alcotest.(check bool) "degraded fabric misses" false (bool_field p "cache_hit")
 
+let num_field j key =
+  match Json.member key j with
+  | Some (Json.Num n) -> n
+  | _ -> Alcotest.failf "expected numeric field %s" key
+
+let test_engine_fail_links_repairs_warm_cache () =
+  (* When the healthy fabric's matrix is already cached, fail_links
+     derives the degraded matrix incrementally and installs it under
+     the new digest — so the first place after the failure is a warm
+     hit, not a cold all-pairs rebuild. *)
+  let e = eng () in
+  ignore (load e ~k:4 ());
+  let place id =
+    expect_ok
+      (Engine.handle_line e
+         (Printf.sprintf
+            {|{"id":%d,"method":"place","params":{"session":"s","algo":"dp"}}|}
+            id))
+  in
+  ignore (place 1);
+  let degraded =
+    expect_ok
+      (Engine.handle_line e
+         {|{"id":2,"method":"fail_links","params":{"session":"s","fraction":0.05,"seed":3}}|})
+  in
+  Alcotest.(check bool) "links failed" true
+    (num_field degraded "failed_count" >= 1.0);
+  Alcotest.(check bool) "matrix repaired" true
+    (bool_field degraded "repaired_cost_matrix");
+  Alcotest.(check bool) "matrix cached after repair" true
+    (bool_field degraded "cached_cost_matrix");
+  let p = place 3 in
+  Alcotest.(check bool) "first place after failure is warm" true
+    (bool_field p "cache_hit");
+  let stats = expect_ok (Engine.handle_line e {|{"id":4,"method":"stats"}|}) in
+  match Json.member "cache" stats with
+  | Some cache ->
+      Alcotest.(check bool) "one repair counted" true
+        (Float.compare (num_field cache "repairs") 1.0 = 0);
+      Alcotest.(check bool) "one cold rebuild counted" true
+        (Float.compare (num_field cache "rebuilds") 1.0 = 0)
+  | None -> Alcotest.fail "stats without cache section"
+
+let test_engine_failure_log_ordering () =
+  (* Two failure episodes: the session's stats log must be their
+     concatenation in episode order, oldest first. *)
+  let e = eng () in
+  ignore (load e ~k:4 ());
+  let episode id seed =
+    let r =
+      expect_ok
+        (Engine.handle_line e
+           (Printf.sprintf
+              {|{"id":%d,"method":"fail_links","params":{"session":"s","fraction":0.05,"seed":%d}}|}
+              id seed))
+    in
+    match Json.member "failed" r with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "fail_links without failed list"
+  in
+  let first = episode 1 3 in
+  let second = episode 2 11 in
+  let stats = expect_ok (Engine.handle_line e {|{"id":3,"method":"stats"}|}) in
+  match Json.member "sessions" stats with
+  | Some (Json.List [ session ]) -> (
+      Alcotest.(check bool) "failed_links counts both episodes" true
+        (Float.compare
+           (num_field session "failed_links")
+           (float_of_int (List.length first + List.length second))
+        = 0);
+      match Json.member "failed" session with
+      | Some (Json.List logged) ->
+          Alcotest.(check string) "log is episode-ordered"
+            (Json.to_string (Json.List (first @ second)))
+            (Json.to_string (Json.List logged))
+      | _ -> Alcotest.fail "session stats without failed log")
+  | _ -> Alcotest.fail "stats without a single session"
+
 let test_engine_invalid_params () =
   let e = eng () in
   ignore (load e ());
@@ -184,10 +263,11 @@ let test_engine_shutdown () =
 
 let test_engine_deadline () =
   let e = eng () in
-  (* An already-expired deadline: the handler never starts, the error
-     echoes the id, and the engine keeps serving. *)
+  (* Deadlines live on the monotonic Clock timebase, not the wall
+     clock: an already-expired deadline means the handler never
+     starts, the error echoes the id, and the engine keeps serving. *)
   let late =
-    Engine.handle_line ~deadline:(Unix.gettimeofday () -. 1.0) e
+    Engine.handle_line ~deadline:(Clock.now () -. 1.0) e
       {|{"id":"d1","method":"health"}|}
   in
   Alcotest.(check string) "deadline code" "deadline_exceeded"
@@ -197,7 +277,7 @@ let test_engine_deadline () =
   (* A generous deadline changes nothing. *)
   ignore
     (expect_ok
-       (Engine.handle_line ~deadline:(Unix.gettimeofday () +. 60.0) e
+       (Engine.handle_line ~deadline:(Clock.now () +. 60.0) e
           {|{"id":"d2","method":"health"}|}));
   let stats = expect_ok (Engine.handle_line e {|{"id":"d3","method":"stats"}|}) in
   match Json.member "requests" stats with
@@ -470,6 +550,10 @@ let () =
           Alcotest.test_case "migrate lifecycle" `Quick test_engine_migrate_flow;
           Alcotest.test_case "fail_links rekeys the cache" `Quick
             test_engine_fail_links_changes_digest;
+          Alcotest.test_case "fail_links repairs a warm cache" `Quick
+            test_engine_fail_links_repairs_warm_cache;
+          Alcotest.test_case "failure log is episode-ordered" `Quick
+            test_engine_failure_log_ordering;
           Alcotest.test_case "invalid params are contained" `Quick
             test_engine_invalid_params;
           Alcotest.test_case "shutdown" `Quick test_engine_shutdown;
