@@ -1,5 +1,5 @@
 # Convenience entry points; dune is the real build system.
-.PHONY: all build test lint bench bench-check bench-baseline clean
+.PHONY: all build test lint lint-selftest lint-baseline bench bench-check bench-baseline clean
 
 all: build lint test
 
@@ -13,6 +13,19 @@ test:
 # first. Non-zero exit on any finding — this is the same gate CI runs.
 lint: build
 	dune exec ppdc-lint -- lib bin bench
+
+# Prove the R6/R7 concurrency rules still fire: seed a lock-order
+# inversion and a raise-path lock leak into the engine, assert the
+# findings land at the expected locations, restore, assert clean.
+lint-selftest: build
+	sh tools/lint/selftest.sh
+
+# Record today's findings so a new rule can land warning-only:
+# `dune exec ppdc-lint -- --baseline lint-baseline.txt lib bin bench`
+# then fails only on findings *beyond* the recorded counts. Shrink the
+# file to zero entries to promote the rule to a hard error.
+lint-baseline: build
+	dune exec ppdc-lint -- --write-baseline lint-baseline.txt lib bin bench
 
 bench:
 	dune exec bench/main.exe

@@ -23,13 +23,10 @@ let unweighted_cache : (int, Fat_tree.t * Cost_matrix.t) Ppdc_prelude.Lru.t =
   "every lookup and insert happens inside unweighted_fat_tree under \
    unweighted_cache_mutex; the cached values are immutable after build"]
 
-let unweighted_cache_mutex = Mutex.create ()
+let unweighted_cache_mutex = Mutex.create () [@@ppdc.guards "runner.cache"]
 
 let unweighted_fat_tree k =
-  Mutex.lock unweighted_cache_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock unweighted_cache_mutex)
-    (fun () ->
+  Ppdc_prelude.Mutexes.with_lock unweighted_cache_mutex (fun () ->
       let hit, pair =
         Ppdc_prelude.Lru.find_or_add unweighted_cache k (fun () ->
             let ft = Fat_tree.build k in
@@ -39,12 +36,13 @@ let unweighted_fat_tree k =
         (if hit then "runner.cost_matrix_cache_hits"
          else "runner.cost_matrix_cache_misses");
       pair)
+[@@ppdc.domain_safe
+  "taking the cache mutex inside parallel trials is the documented \
+   discipline (concurrent misses for the same k wait for one build); \
+   the lock nests nothing and is never held across a trial body"]
 
 let cost_matrix_cache_stats () =
-  Mutex.lock unweighted_cache_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock unweighted_cache_mutex)
-    (fun () ->
+  Ppdc_prelude.Mutexes.with_lock unweighted_cache_mutex (fun () ->
       Ppdc_prelude.Lru.
         ( length unweighted_cache,
           hits unweighted_cache,

@@ -1,0 +1,7 @@
+(* ppdc-lint R7 recognizes exactly this lock/protect shape; every other
+   critical section in the codebase goes through [with_lock] so the
+   exception path provably releases the mutex. *)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

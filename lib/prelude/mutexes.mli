@@ -1,0 +1,15 @@
+(** The one sanctioned way to hold a mutex.
+
+    [with_lock m f] runs [f ()] with [m] held and releases [m] on every
+    exit path, exceptional ones included. Using it (instead of a bare
+    [Mutex.lock]/[Mutex.unlock] pair) is what makes a critical section
+    visible to ppdc-lint's concurrency rules: R7 (exception-unsafe
+    locking) accepts this shape without proving the body non-raising,
+    and R6 (lock order) learns which lock class is held inside [f] from
+    the [@ppdc.guards] annotation on [m]'s binding or record field.
+
+    [Condition.wait] works as usual inside [f] — it releases and
+    re-acquires the same mutex internally, so the protect-on-exit
+    discipline is preserved. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a

@@ -1,5 +1,12 @@
 type value = Int of int | Float of float | String of string | Bool of bool
 
+(* Lock hierarchy of this module (checked by ppdc-lint R6): the shard
+   registry mutex and the per-shard locks never nest — snapshot/reset
+   copy the registry under its mutex, release it, then visit shards one
+   at a time — so the declared order only documents the intended
+   direction should nesting ever appear. *)
+[@@@ppdc.lock_order "obs.registry obs.shard"]
+
 (* --- enabled flag ------------------------------------------------------ *)
 
 let enabled_flag =
@@ -41,7 +48,7 @@ let buf_contents b = Array.sub b.data 0 b.len
 type event = { seq : int; name : string; fields : (string * value) list }
 
 type shard = {
-  lock : Mutex.t;
+  lock : Mutex.t; [@ppdc.guards "obs.shard"]
       (* Writes come only from the owning domain; the lock exists so a
          merging/resetting domain can read or clear a shard without
          tearing a concurrent write. Uncontended in steady state. *)
@@ -57,7 +64,7 @@ let registry : shard list ref = ref []
    snapshot/reset iterate a copy taken under the same mutex, and each \
    shard's contents are protected by its own per-shard lock"]
 
-let registry_mutex = Mutex.create ()
+let registry_mutex = Mutex.create () [@@ppdc.guards "obs.registry"]
 let event_seq = Atomic.make 0
 
 let shard_key =
@@ -71,17 +78,23 @@ let shard_key =
           events = [];
         }
       in
-      Mutex.lock registry_mutex;
-      registry := s :: !registry;
-      Mutex.unlock registry_mutex;
+      Mutexes.with_lock registry_mutex (fun () -> registry := s :: !registry);
       s)
 
 let my_shard () = Domain.DLS.get shard_key
 
+(* The shard lock is per-domain and uncontended in steady state, and is
+   never held across user code — safe to take from inside Parallel
+   sections, hence the [@@ppdc.domain_safe] exempting callers from the
+   R8 transitive-lock check. *)
 let with_shard f =
   let s = my_shard () in
-  Mutex.lock s.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s)
+  Mutexes.with_lock s.lock (fun () -> f s)
+[@@ppdc.domain_safe
+  "per-domain DLS shard; its lock is uncontended and never held across \
+   user code, so acquiring it inside a Parallel section cannot deadlock \
+   or serialize the pool"]
+[@@ppdc.calls_under "obs.shard"]
 
 (* --- recording --------------------------------------------------------- *)
 
@@ -159,11 +172,7 @@ let summarize samples =
       max = Array.fold_left Float.max samples.(0) samples;
     }
 
-let shards () =
-  Mutex.lock registry_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock registry_mutex)
-    (fun () -> !registry)
+let shards () = Mutexes.with_lock registry_mutex (fun () -> !registry)
 
 let snapshot () =
   let counters = Hashtbl.create 16 in
@@ -172,10 +181,7 @@ let snapshot () =
   let events = ref [] in
   List.iter
     (fun s ->
-      Mutex.lock s.lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock s.lock)
-        (fun () ->
+      Mutexes.with_lock s.lock (fun () ->
           Hashtbl.iter
             (fun name r ->
               match Hashtbl.find_opt counters name with
@@ -208,12 +214,11 @@ let snapshot () =
 let reset () =
   List.iter
     (fun s ->
-      Mutex.lock s.lock;
-      Hashtbl.reset s.counters;
-      Hashtbl.reset s.spans;
-      Hashtbl.reset s.hists;
-      s.events <- [];
-      Mutex.unlock s.lock)
+      Mutexes.with_lock s.lock (fun () ->
+          Hashtbl.reset s.counters;
+          Hashtbl.reset s.spans;
+          Hashtbl.reset s.hists;
+          s.events <- []))
     (shards ());
   Atomic.set event_seq 0
 

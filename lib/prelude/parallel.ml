@@ -4,6 +4,12 @@
    but every observable output is keyed by index and reduced in index
    order after a barrier, so results do not depend on the schedule. *)
 
+(* Lock hierarchy of this module, machine-checked by ppdc-lint R6:
+   the pool-state registry mutex is taken before any pool's own mutex
+   (shutdown/resize hold it while draining a pool), and the per-job
+   error mutex nests innermost. *)
+[@@@ppdc.lock_order "parallel.pool_state parallel.pool parallel.err"]
+
 let env_domains () =
   match Sys.getenv_opt "PPDC_DOMAINS" with
   | None -> None
@@ -36,16 +42,15 @@ type job = {
   pending : int Atomic.t;  (* indices not yet finished *)
   failed : int Atomic.t;  (* lowest failing index, or max_int *)
   mutable error : exn option;  (* exception at [failed]; err_mutex *)
-  err_mutex : Mutex.t;
+  err_mutex : Mutex.t; [@ppdc.guards "parallel.err"]
 }
 
 let record_error job i exn =
-  Mutex.lock job.err_mutex;
-  if i < Atomic.get job.failed then begin
-    Atomic.set job.failed i;
-    job.error <- Some exn
-  end;
-  Mutex.unlock job.err_mutex
+  Mutexes.with_lock job.err_mutex (fun () ->
+      if i < Atomic.get job.failed then begin
+        Atomic.set job.failed i;
+        job.error <- Some exn
+      end)
 
 (* Claim and run indices until the set is drained (or an earlier index
    failed, in which case later indices are abandoned — a sequential loop
@@ -71,7 +76,7 @@ let work job =
 
 type pool = {
   mutable workers : unit Domain.t array;
-  mutex : Mutex.t;
+  mutex : Mutex.t; [@ppdc.guards "parallel.pool"]
   work_cond : Condition.t;  (* new job or stop *)
   done_cond : Condition.t;  (* a job drained *)
   mutable generation : int;
@@ -80,23 +85,20 @@ type pool = {
 }
 
 let finish_indices pool job k =
-  if Atomic.fetch_and_add job.pending (-k) = k then begin
+  if Atomic.fetch_and_add job.pending (-k) = k then
     (* Last batch: wake the submitter. The lock orders this broadcast
        after the submitter's check of [pending] under the same mutex. *)
-    Mutex.lock pool.mutex;
-    Condition.broadcast pool.done_cond;
-    Mutex.unlock pool.mutex
-  end
+    Mutexes.with_lock pool.mutex (fun () ->
+        Condition.broadcast pool.done_cond)
 
 let rec worker_loop pool seen_generation =
-  Mutex.lock pool.mutex;
-  while pool.generation = seen_generation && not pool.stop do
-    Condition.wait pool.work_cond pool.mutex
-  done;
-  let generation = pool.generation in
-  let job = pool.job in
-  let stop = pool.stop in
-  Mutex.unlock pool.mutex;
+  let generation, job, stop =
+    Mutexes.with_lock pool.mutex (fun () ->
+        while pool.generation = seen_generation && not pool.stop do
+          Condition.wait pool.work_cond pool.mutex
+        done;
+        (pool.generation, pool.job, pool.stop))
+  in
   if not stop then begin
     (match job with
     | Some j ->
@@ -126,7 +128,7 @@ let make_pool num_workers =
 let pool_state : pool option ref = ref None
 [@@ppdc.domain_safe "read and written only while holding pool_mutex"]
 
-let pool_mutex = Mutex.create ()
+let pool_mutex = Mutex.create () [@@ppdc.guards "parallel.pool_state"]
 
 let exit_hook_registered = ref false
 [@@ppdc.domain_safe "flipped once under pool_mutex inside obtain_pool"]
@@ -135,24 +137,18 @@ let shutdown_locked () =
   match !pool_state with
   | None -> ()
   | Some pool ->
-      Mutex.lock pool.mutex;
-      pool.stop <- true;
-      Condition.broadcast pool.work_cond;
-      Mutex.unlock pool.mutex;
+      Mutexes.with_lock pool.mutex (fun () ->
+          pool.stop <- true;
+          Condition.broadcast pool.work_cond);
       Array.iter Domain.join pool.workers;
       pool_state := None
 
-let shutdown () =
-  Mutex.lock pool_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock pool_mutex) shutdown_locked
+let shutdown () = Mutexes.with_lock pool_mutex shutdown_locked
 
 (* A pool with [width - 1] workers (the caller is the remaining lane),
    resized when the requested width changes. *)
 let obtain_pool width =
-  Mutex.lock pool_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock pool_mutex)
-    (fun () ->
+  Mutexes.with_lock pool_mutex (fun () ->
       (match !pool_state with
       | Some pool when Array.length pool.workers = width - 1 -> ()
       | Some _ -> shutdown_locked ()
@@ -201,20 +197,23 @@ let run n body =
               err_mutex = Mutex.create ();
             }
           in
-          Mutex.lock pool.mutex;
-          pool.job <- Some job;
-          pool.generation <- pool.generation + 1;
-          Condition.broadcast pool.work_cond;
-          Mutex.unlock pool.mutex;
+          Mutexes.with_lock pool.mutex (fun () ->
+              pool.job <- Some job;
+              pool.generation <- pool.generation + 1;
+              Condition.broadcast pool.work_cond);
           let k = work job in
           if k > 0 then finish_indices pool job k;
-          Mutex.lock pool.mutex;
-          while Atomic.get job.pending > 0 do
-            Condition.wait pool.done_cond pool.mutex
-          done;
-          pool.job <- None;
-          Mutex.unlock pool.mutex;
+          Mutexes.with_lock pool.mutex (fun () ->
+              while Atomic.get job.pending > 0 do
+                Condition.wait pool.done_cond pool.mutex
+              done;
+              pool.job <- None);
           match job.error with Some exn -> raise exn | None -> ())
+[@@ppdc.domain_safe
+  "the pool/err mutexes taken here are the scheduler's own, never held \
+   across user code, and a reentrant call observes the busy flag and \
+   runs sequentially — so task bodies calling back into Parallel cannot \
+   deadlock; exempted from the R8 roll-up for that reason"]
 
 let parallel_for n f = run n f
 

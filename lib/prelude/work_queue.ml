@@ -11,7 +11,7 @@ type 'a t = {
   run : 'a -> unit;
   pending : 'a Queue.t;
   max_pending : int;
-  mutex : Mutex.t;
+  mutex : Mutex.t; [@ppdc.guards "work_queue"]
   work : Condition.t;  (* job pushed or shutdown began *)
   idle : Condition.t;  (* accepted work fully drained *)
   mutable stopping : bool;
@@ -23,34 +23,33 @@ type 'a t = {
   mutable workers : unit Domain.t array;
 }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let locked t f = Mutexes.with_lock t.mutex f
+[@@ppdc.calls_under "work_queue"]
 
 let rec worker_loop t =
-  Mutex.lock t.mutex;
-  while Queue.is_empty t.pending && not t.stopping do
-    Condition.wait t.work t.mutex
-  done;
-  if Queue.is_empty t.pending then begin
-    (* stopping and nothing left: exit. *)
-    Mutex.unlock t.mutex;
-    ()
-  end
-  else begin
-    let job = Queue.pop t.pending in
-    t.active <- t.active + 1;
-    Mutex.unlock t.mutex;
-    let failed = match t.run job with () -> false | exception _ -> true in
-    Mutex.lock t.mutex;
-    t.active <- t.active - 1;
-    t.completed <- t.completed + 1;
-    if failed then t.failures <- t.failures + 1;
-    if t.active = 0 && Queue.is_empty t.pending then
-      Condition.broadcast t.idle;
-    Mutex.unlock t.mutex;
-    worker_loop t
-  end
+  let job =
+    locked t (fun () ->
+        while Queue.is_empty t.pending && not t.stopping do
+          Condition.wait t.work t.mutex
+        done;
+        if Queue.is_empty t.pending then None (* stopping, nothing left *)
+        else begin
+          let job = Queue.pop t.pending in
+          t.active <- t.active + 1;
+          Some job
+        end)
+  in
+  match job with
+  | None -> ()
+  | Some job ->
+      let failed = match t.run job with () -> false | exception _ -> true in
+      locked t (fun () ->
+          t.active <- t.active - 1;
+          t.completed <- t.completed + 1;
+          if failed then t.failures <- t.failures + 1;
+          if t.active = 0 && Queue.is_empty t.pending then
+            Condition.broadcast t.idle);
+      worker_loop t
 
 let create ~workers ~max_pending run =
   if workers < 1 then

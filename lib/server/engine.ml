@@ -1,5 +1,6 @@
 module Json = Ppdc_prelude.Json
 module Clock = Ppdc_prelude.Clock
+module Mutexes = Ppdc_prelude.Mutexes
 module Lru = Ppdc_prelude.Lru
 module Obs = Ppdc_prelude.Obs
 module Rng = Ppdc_prelude.Rng
@@ -25,10 +26,12 @@ open Ppdc_core
    cost-matrix LRU, including building a missing matrix, so concurrent
    misses for the same digest wait for one build instead of computing
    it twice. *)
+[@@@ppdc.lock_order "registry session cache"]
 
 type session = {
   k : int;
-  lock : Mutex.t;  (* serializes requests against this session *)
+  lock : Mutex.t; [@ppdc.guards "session"]
+      (* serializes requests against this session *)
   mutable graph : Graph.t;
   mutable digest : string;
   mutable flows : Flow.t array;
@@ -60,9 +63,9 @@ type load = {
 
 type t = {
   cache : (string, Cost_matrix.t) Lru.t;
-  cache_mutex : Mutex.t;
+  cache_mutex : Mutex.t; [@ppdc.guards "cache"]
   sessions : (string, session) Hashtbl.t;
-  registry_mutex : Mutex.t;
+  registry_mutex : Mutex.t; [@ppdc.guards "registry"]
   started : float;
   by_method : (string, method_stats) Hashtbl.t;
   mutable total_requests : int;
@@ -99,12 +102,8 @@ let create ?(cache_capacity = 8) () =
 
 let stopped t = Atomic.get t.stop
 
-let locked m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
 let set_load_probe t probe =
-  locked t.registry_mutex (fun () -> t.load_probe <- Some probe)
+  Mutexes.with_lock t.registry_mutex (fun () -> t.load_probe <- Some probe)
 
 (* Handler-side failure: mapped to an error response by [handle_line]. *)
 exception Reject of Protocol.error_code * string
@@ -129,10 +128,11 @@ let placement_json (p : Placement.t) = Json.List (Array.to_list (Array.map num p
 let with_session t params f =
   let name = Protocol.req_str_param params "session" in
   match
-    locked t.registry_mutex (fun () -> Hashtbl.find_opt t.sessions name)
+    Mutexes.with_lock t.registry_mutex (fun () -> Hashtbl.find_opt t.sessions name)
   with
   | None -> reject Unknown_session "no session named %S; load_topology first" name
-  | Some s -> locked s.lock (fun () -> f s)
+  | Some s -> Mutexes.with_lock s.lock (fun () -> f s)
+[@@ppdc.calls_under "session"]
 
 (* Resolve the session's all-pairs matrix through the LRU: the single
    expensive step of every query, skipped whenever this fabric (by
@@ -141,7 +141,7 @@ let with_session t params f =
    the first build instead of duplicating it. *)
 let resolve_cm t (s : session) =
   let hit, cm =
-    locked t.cache_mutex (fun () ->
+    Mutexes.with_lock t.cache_mutex (fun () ->
         Lru.find_or_add t.cache s.digest (fun () ->
             t.cm_rebuilds <- t.cm_rebuilds + 1;
             Obs.time "server.cost_matrix.compute" (fun () ->
@@ -158,7 +158,7 @@ let problem_of t s =
 
 let health t _params =
   let sessions =
-    locked t.registry_mutex (fun () -> Hashtbl.length t.sessions)
+    Mutexes.with_lock t.registry_mutex (fun () -> Hashtbl.length t.sessions)
   in
   Json.Obj
     [
@@ -213,12 +213,12 @@ let load_topology t params =
     }
   in
   let replaced =
-    locked t.registry_mutex (fun () ->
+    Mutexes.with_lock t.registry_mutex (fun () ->
         let replaced = Hashtbl.mem t.sessions name in
         Hashtbl.replace t.sessions name session;
         replaced)
   in
-  let cached = locked t.cache_mutex (fun () -> Lru.mem t.cache digest) in
+  let cached = Mutexes.with_lock t.cache_mutex (fun () -> Lru.mem t.cache digest) in
   Json.Obj
     [
       ("session", Str name);
@@ -479,7 +479,7 @@ let fail_links t params =
      [Lru.peek] reads the parent without disturbing recency or the
      hit/miss counters. *)
   let repaired, cached =
-    locked t.cache_mutex (fun () ->
+    Mutexes.with_lock t.cache_mutex (fun () ->
         if Lru.mem t.cache s.digest then (false, true)
         else
           match Lru.peek t.cache parent_digest with
@@ -514,7 +514,7 @@ let stats t _params =
      are atomic in OCaml, and stats is a monitoring view — a request
      racing it simply shows its before-or-after state. *)
   let session_list, by_method, totals, probe =
-    locked t.registry_mutex (fun () ->
+    Mutexes.with_lock t.registry_mutex (fun () ->
         let sessions =
           Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sessions []
         in
@@ -574,7 +574,7 @@ let stats t _params =
       by_method
   in
   let cache =
-    locked t.cache_mutex (fun () ->
+    Mutexes.with_lock t.cache_mutex (fun () ->
         Json.Obj
           [
             ("capacity", num (Lru.capacity t.cache));
@@ -641,11 +641,11 @@ let dispatch t (req : Protocol.request) =
   Obs.time ("rpc." ^ req.meth) (fun () -> handler t req.params)
 
 let note_error t =
-  locked t.registry_mutex (fun () -> t.errors <- t.errors + 1);
+  Mutexes.with_lock t.registry_mutex (fun () -> t.errors <- t.errors + 1);
   Obs.incr "rpc.errors"
 
 let record_latency t meth elapsed =
-  locked t.registry_mutex (fun () ->
+  Mutexes.with_lock t.registry_mutex (fun () ->
       let st =
         match Hashtbl.find_opt t.by_method meth with
         | Some st -> st
@@ -659,7 +659,7 @@ let record_latency t meth elapsed =
       if Float.compare elapsed st.max_s > 0 then st.max_s <- elapsed)
 
 let handle_line ?deadline t line =
-  locked t.registry_mutex (fun () ->
+  Mutexes.with_lock t.registry_mutex (fun () ->
       t.total_requests <- t.total_requests + 1);
   Obs.incr "rpc.requests";
   match Protocol.request_of_line line with
@@ -671,7 +671,7 @@ let handle_line ?deadline t line =
       | Some d when Float.compare (Clock.now ()) d > 0 ->
           (* The request spent its whole time budget queued; answer
              without starting the handler so the worker moves on. *)
-          locked t.registry_mutex (fun () ->
+          Mutexes.with_lock t.registry_mutex (fun () ->
               t.errors <- t.errors + 1;
               t.deadline_errors <- t.deadline_errors + 1);
           Obs.incr "rpc.errors";

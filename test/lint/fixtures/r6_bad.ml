@@ -1,0 +1,26 @@
+(* R6 must-trigger: lock-order inversions against the declared
+   [@@@ppdc.lock_order], one direct and one hidden behind a call (the
+   second is only visible through the summary/fixpoint layer).
+   Expected: exactly 2 R6 findings. *)
+
+[@@@ppdc.lock_order "r6b_outer r6b_inner"]
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+let outer_mutex = Mutex.create () [@@ppdc.guards "r6b_outer"]
+let inner_mutex = Mutex.create () [@@ppdc.guards "r6b_inner"]
+
+(* Direct inversion: acquires the outer class while holding the inner. *)
+let direct () =
+  Mutexes.with_lock inner_mutex (fun () ->
+      Mutexes.with_lock outer_mutex (fun () -> ()))
+
+let take_outer () = Mutexes.with_lock outer_mutex (fun () -> ())
+
+(* Same inversion, but the outer acquisition happens inside a callee —
+   only the transitive summary of [take_outer] can see it. *)
+let via_call () = Mutexes.with_lock inner_mutex (fun () -> take_outer ())

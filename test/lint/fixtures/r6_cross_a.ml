@@ -1,0 +1,15 @@
+(* Provider half of the cross-module R6 fixture: declares the order and
+   owns the outer-class mutex. [r6_cross_b.ml] inverts the order by
+   calling [take_a] under its own (inner-class) lock — a violation no
+   single-file analysis can see. This file itself is clean. *)
+
+[@@@ppdc.lock_order "r6x_a r6x_b"]
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+let mutex_a = Mutex.create () [@@ppdc.guards "r6x_a"]
+let take_a () = Mutexes.with_lock mutex_a (fun () -> ())

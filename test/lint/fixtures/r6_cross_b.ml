@@ -1,0 +1,15 @@
+(* Consumer half of the cross-module R6 fixture: holds the inner class
+   and calls into [R6_cross_a.take_a], which acquires the outer class —
+   an inversion of the order declared in r6_cross_a.ml, visible only
+   through the cross-file summary fixpoint.
+   Expected: exactly 1 R6 finding. *)
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+let mutex_b = Mutex.create () [@@ppdc.guards "r6x_b"]
+
+let bad () = Mutexes.with_lock mutex_b (fun () -> R6_cross_a.take_a ())

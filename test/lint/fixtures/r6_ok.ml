@@ -1,0 +1,28 @@
+(* R6 must-not-trigger: nesting that follows the declared order, plus
+   an inversion explicitly suppressed with [@ppdc.allow "R6"]. *)
+
+[@@@ppdc.lock_order "r6o_outer r6o_inner"]
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+let outer_mutex = Mutex.create () [@@ppdc.guards "r6o_outer"]
+let inner_mutex = Mutex.create () [@@ppdc.guards "r6o_inner"]
+
+(* Correct direction: outer first, inner inside. *)
+let nested () =
+  Mutexes.with_lock outer_mutex (fun () ->
+      Mutexes.with_lock inner_mutex (fun () -> ()))
+
+(* Sequential (non-nested) acquisitions are always fine. *)
+let sequential () =
+  Mutexes.with_lock inner_mutex (fun () -> ());
+  Mutexes.with_lock outer_mutex (fun () -> ())
+
+(* A deliberate, documented inversion stays silent under an allow. *)
+let waived () =
+  Mutexes.with_lock inner_mutex (fun () ->
+      (Mutexes.with_lock outer_mutex (fun () -> ()) [@ppdc.allow "R6"]))

@@ -1,0 +1,20 @@
+(* R7 must-trigger: locks whose unlock is missing or unreachable on the
+   exception path. Expected: exactly 3 R7 findings. *)
+
+let m = Mutex.create ()
+
+(* No unlock at all: if the caller forgets, the mutex leaks. *)
+let missing_unlock f =
+  Mutex.lock m;
+  f ()
+
+(* The unlock exists but [f ()] can raise before reaching it. *)
+let raising_span f =
+  Mutex.lock m;
+  let x = f () in
+  Mutex.unlock m;
+  x
+
+(* A lock taken on one branch only can never be matched to an unlock. *)
+let conditional_lock b =
+  if b then Mutex.lock m

@@ -1,0 +1,35 @@
+(* R7 must-not-trigger: exception-safe locking shapes, plus an explicit
+   [@ppdc.allow "R7"] waiver. *)
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+let m = Mutex.create ()
+
+(* The blessed helper. *)
+let structured f = Mutexes.with_lock m f
+
+(* Fun.protect directly: releases on every path. *)
+let protect_shape f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* A manual span is fine when everything before the unlock is provably
+   non-raising. *)
+let counter = ref 0 [@@ppdc.domain_safe "only touched while holding m"]
+
+let manual_nonraising () =
+  Mutex.lock m;
+  counter := !counter + 1;
+  Mutex.unlock m
+
+(* A deliberate bare lock (e.g. handing the mutex to a caller that
+   promises to unlock) stays silent under an allow. *)
+let handoff f =
+  (Mutex.lock m [@ppdc.allow "R7"]);
+  let x = f () in
+  Mutex.unlock m;
+  x

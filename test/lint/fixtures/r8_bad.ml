@@ -1,0 +1,45 @@
+(* R8 must-trigger: impure closures handed to Parallel entry points —
+   a write to captured state not keyed by the loop variable, a
+   lock acquisition, and a call whose summary transitively locks.
+   Expected: exactly 4 R8 findings. *)
+
+module Parallel = struct
+  let parallel_for n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+end
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+(* Captured ref: every domain races on [total]. *)
+let sum_ref n =
+  let total = ref 0 in
+  Parallel.parallel_for n (fun i -> total := !total + i);
+  !total
+
+(* Captured array written at a fixed index: last writer wins. *)
+let last_write n =
+  let cell = Array.make 1 0 in
+  Parallel.parallel_for n (fun _i -> cell.(0) <- 1);
+  cell.(0)
+
+(* Taking a lock inside the closure serializes the pool. *)
+let locking n =
+  let m = Mutex.create () in
+  Parallel.parallel_for n (fun _i ->
+      Mutex.lock m;
+      Mutex.unlock m)
+
+let tally_mutex = Mutex.create () [@@ppdc.guards "r8b_tally"]
+let tally = ref 0
+[@@ppdc.domain_safe "incremented under tally_mutex only"]
+
+let bump () = Mutexes.with_lock tally_mutex (fun () -> incr tally)
+
+(* The lock hides inside a callee: only the summary can see it. *)
+let hidden_lock n = Parallel.parallel_for n (fun _i -> bump ())

@@ -1,0 +1,44 @@
+(* R8 must-not-trigger: the blessed parallel shapes — writes keyed by
+   the loop variable, closure-local state, an exempted callee, and an
+   explicit [@ppdc.allow "R8"] waiver. *)
+
+module Parallel = struct
+  let parallel_for n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+end
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+(* Each iteration owns its slot: indexed by the loop variable. *)
+let fill n =
+  let slots = Array.make (max n 1) 0 in
+  Parallel.parallel_for n (fun i -> slots.(i) <- 2 * i);
+  slots
+
+(* State created inside the closure is private to the iteration. *)
+let local_state n =
+  Parallel.parallel_for n (fun i ->
+      let acc = ref 0 in
+      acc := !acc + i;
+      ignore !acc)
+
+let note_mutex = Mutex.create ()
+
+(* A callee marked [@@ppdc.domain_safe] is exempt from the roll-up —
+   the same mechanism that blesses Obs.with_shard in the prelude. *)
+let note _i = Mutexes.with_lock note_mutex (fun () -> ())
+[@@ppdc.domain_safe "uncontended, never held across user code"]
+
+let instrumented n = Parallel.parallel_for n (fun i -> note i)
+
+(* A deliberate racy write stays silent under an allow. *)
+let waived n =
+  let total = ref 0 in
+  Parallel.parallel_for n (fun i -> (total := !total + i) [@ppdc.allow "R8"]);
+  !total

@@ -65,7 +65,37 @@ let test_trigger_counts () =
       ("r3_bad.ml", 2);
       ("r4_bad.ml", 3);
       ("r5_bad.ml", 5);
+      ("r6_bad.ml", 2);
+      ("r6_cross_b.ml", 1);
+      ("r7_bad.ml", 3);
+      ("r8_bad.ml", 4);
     ]
+
+let test_cross_module () =
+  (* The r6_cross pair only fires through the summary/fixpoint layer:
+     the provider file is clean, the consumer carries exactly one R6
+     whose message names the witness chain into the other module. *)
+  Alcotest.(check int) "provider file clean" 0
+    (List.length (in_file "r6_cross_a.ml"));
+  match in_file "r6_cross_b.ml" with
+  | [ f ] ->
+      Alcotest.(check string) "rule is R6" "R6" f.rule;
+      let contains needle hay =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length hay
+          && (String.equal (String.sub hay i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "witness names the cross-module callee: %s" f.msg)
+        true
+        (contains "R6_cross_a.take_a" f.msg)
+  | fs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one cross-module finding, got %d"
+           (List.length fs))
 
 let test_to_string () =
   match in_file "r1_bad.ml" with
@@ -141,6 +171,105 @@ let test_cli () =
   Sys.rmdir empty;
   Alcotest.(check int) "exit code 0 when clean" 0 code_clean
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains needle hay =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay
+    && (String.equal (String.sub hay i n) needle || go (i + 1))
+  in
+  go 0
+
+let count_occurrences needle hay =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else if String.equal (String.sub hay i n) needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let exe = "../../tools/lint/ppdc_lint.exe"
+
+let test_sarif () =
+  let out = Filename.temp_file "ppdc_lint_sarif" ".sarif" in
+  let code =
+    Sys.command
+      (Printf.sprintf
+         "%s -q --lib-prefix '' --sarif-out %s %s > /dev/null 2>&1"
+         (Filename.quote exe) (Filename.quote out)
+         (Filename.quote fixtures_dir))
+  in
+  Alcotest.(check int) "text gate still exits 1" 1 code;
+  let sarif = read_file out in
+  Sys.remove out;
+  Alcotest.(check bool) "declares SARIF 2.1.0" true
+    (contains {|"version":"2.1.0"|} sarif);
+  Alcotest.(check bool) "references the 2.1.0 schema" true
+    (contains "sarif-schema-2.1.0.json" sarif);
+  (* one result per finding, one reusable rule descriptor per R-id *)
+  Alcotest.(check int) "one result object per finding"
+    (List.length (Lazy.force findings))
+    (count_occurrences {|"ruleId":|} sarif);
+  List.iter
+    (fun (id, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rule descriptor for %s present" id)
+        true
+        (contains (Printf.sprintf {|"id":"%s"|} id) sarif))
+    L.rule_slugs
+
+let test_baseline () =
+  let base = Filename.temp_file "ppdc_lint_base" ".baseline" in
+  (* Recording the corpus as a baseline must succeed and exit 0 even
+     though the corpus is full of findings... *)
+  let code_write =
+    Sys.command
+      (Printf.sprintf
+         "%s -q --lib-prefix '' --write-baseline %s %s > /dev/null 2>&1"
+         (Filename.quote exe) (Filename.quote base)
+         (Filename.quote fixtures_dir))
+  in
+  Alcotest.(check int) "write-baseline exits 0" 0 code_write;
+  Alcotest.(check bool) "baseline is non-empty" true
+    (String.length (read_file base) > 0);
+  (* ... and gating against that baseline must then pass: nothing new. *)
+  let code_gate =
+    Sys.command
+      (Printf.sprintf
+         "%s -q --lib-prefix '' --baseline %s %s > /dev/null 2>&1"
+         (Filename.quote exe) (Filename.quote base)
+         (Filename.quote fixtures_dir))
+  in
+  Alcotest.(check int) "baselined corpus gates clean" 0 code_gate;
+  (* An emptied baseline reinstates the failure. *)
+  let oc = open_out base in
+  close_out oc;
+  let code_empty =
+    Sys.command
+      (Printf.sprintf
+         "%s -q --lib-prefix '' --baseline %s %s > /dev/null 2>&1"
+         (Filename.quote exe) (Filename.quote base)
+         (Filename.quote fixtures_dir))
+  in
+  Sys.remove base;
+  Alcotest.(check int) "empty baseline exits 1 again" 1 code_empty;
+  (* A missing baseline file is a usage error, not a silent pass. *)
+  let code_missing =
+    Sys.command
+      (Printf.sprintf
+         "%s -q --lib-prefix '' --baseline %s %s > /dev/null 2>&1"
+         (Filename.quote exe)
+         (Filename.quote (base ^ ".does-not-exist"))
+         (Filename.quote fixtures_dir))
+  in
+  Alcotest.(check int) "missing baseline exits 2" 2 code_missing
+
 let () =
   Alcotest.run "ppdc-lint"
     [
@@ -158,6 +287,14 @@ let () =
             (test_triggers "r4_bad.ml" "R4");
           Alcotest.test_case "R5 sentinel-escape" `Quick
             (test_triggers "r5_bad.ml" "R5");
+          Alcotest.test_case "R6 lock-order" `Quick
+            (test_triggers "r6_bad.ml" "R6");
+          Alcotest.test_case "R7 unsafe-locking" `Quick
+            (test_triggers "r7_bad.ml" "R7");
+          Alcotest.test_case "R8 parallel-purity" `Quick
+            (test_triggers "r8_bad.ml" "R8");
+          Alcotest.test_case "R6 cross-module via summaries" `Quick
+            test_cross_module;
           Alcotest.test_case "exact counts" `Quick test_trigger_counts;
         ] );
       ( "must-not-trigger",
@@ -172,10 +309,18 @@ let () =
             (test_clean "r4_ok.ml");
           Alcotest.test_case "R5 documented + suppressed" `Quick
             (test_clean "r5_ok.ml");
+          Alcotest.test_case "R6 ordered + suppressed" `Quick
+            (test_clean "r6_ok.ml");
+          Alcotest.test_case "R7 structured + suppressed" `Quick
+            (test_clean "r7_ok.ml");
+          Alcotest.test_case "R8 pure + exempted + suppressed" `Quick
+            (test_clean "r8_ok.ml");
         ] );
       ( "cli",
         [
           Alcotest.test_case "rendering" `Quick test_to_string;
           Alcotest.test_case "exit codes and output" `Quick test_cli;
+          Alcotest.test_case "sarif emitter" `Quick test_sarif;
+          Alcotest.test_case "baseline workflow" `Quick test_baseline;
         ] );
     ]

@@ -1,0 +1,612 @@
+(* Phase 2 of the concurrency rules: replay one .cmt against the
+   closed summaries from [Lint_summary].
+
+   R6 lock-order      — acquiring a lock class declared *outside* one
+                        currently held (directly, or transitively through
+                        any chain of calls the fixpoint closed over).
+   R7 unsafe-locking  — [Mutex.lock] whose matching unlock is missing on
+                        the exception path (not [Fun.protect]-shaped and
+                        not provably non-raising up to the unlock), plus
+                        blocking [Unix.*] calls made while holding a lock.
+   R8 parallel-purity — inside a literal closure passed to a
+                        [Parallel.*] entry point: any lock acquisition
+                        (direct or via a known callee's summary), and
+                        writes to captured mutable state not indexed by a
+                        closure-local (the loop variable). *)
+
+open Typedtree
+module S = Lint_summary
+module T = Lint_types
+
+type ctx = {
+  src : string;
+  genv : S.genv;
+  unit_name : string;
+  aliases : (string, string) Hashtbl.t;
+  mutable active_allows : string list;
+  mutable findings : T.finding list;
+  mutable held : (string * Location.t) list;  (* innermost first *)
+  consumed : (Location.t, unit) Hashtbl.t;
+      (* lock applies already handled by an enclosing sequence *)
+}
+
+let suppressed ctx id =
+  let slug = List.assoc id T.rule_slugs in
+  List.exists (fun tok -> T.token_matches tok (id, slug)) ctx.active_allows
+
+let report ctx (loc : Location.t) id msg =
+  if (not (suppressed ctx id)) && not loc.loc_ghost then begin
+    let p = loc.loc_start in
+    ctx.findings <-
+      {
+        T.file = ctx.src;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        rule = id;
+        slug = List.assoc id T.rule_slugs;
+        msg;
+      }
+      :: ctx.findings
+  end
+
+let with_allows ctx tokens f =
+  if tokens = [] then f ()
+  else begin
+    let saved = ctx.active_allows in
+    ctx.active_allows <- tokens @ saved;
+    Fun.protect ~finally:(fun () -> ctx.active_allows <- saved) f
+  end
+
+let with_held ctx cls loc f =
+  match cls with
+  | None -> f ()
+  | Some c ->
+      let saved = ctx.held in
+      ctx.held <- (c, loc) :: saved;
+      Fun.protect ~finally:(fun () -> ctx.held <- saved) f
+
+let with_held_classes ctx classes loc f =
+  let saved = ctx.held in
+  ctx.held <- List.map (fun c -> (c, loc)) classes @ saved;
+  Fun.protect ~finally:(fun () -> ctx.held <- saved) f
+
+let with_held_none ctx f =
+  let saved = ctx.held in
+  ctx.held <- [];
+  Fun.protect ~finally:(fun () -> ctx.held <- saved) f
+
+(* --- shared shape helpers ----------------------------------------------- *)
+
+let head_key ctx e = S.head_key ctx.aliases e
+let classify ctx e = S.classify ctx.genv ctx.aliases ctx.unit_name e
+
+(* Syntactic identity of a mutex expression, for matching lock to
+   unlock: the ident path, or the field chain off a base ident. *)
+let rec mutex_token (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (T.norm_path p)
+  | Texp_field (b, _, lbl) -> (
+      match mutex_token b with
+      | Some t -> Some (t ^ "." ^ lbl.lbl_name)
+      | None -> None)
+  | _ -> None
+
+(* [Mutex.lock m] as an application: returns the mutex argument. *)
+let lock_arg ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (h, args) -> (
+      match head_key ctx h with
+      | Some key when S.is_mutex_lock key -> S.first_pos_arg args
+      | _ -> None)
+  | _ -> None
+
+let is_unlock_of ctx token (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (h, args) -> (
+      match head_key ctx h with
+      | Some key when S.is_mutex_unlock key -> (
+          match S.first_pos_arg args with
+          | Some m -> (
+              match mutex_token m with
+              | Some t -> String.equal t token
+              | None -> false)
+          | None -> false)
+      | _ -> false)
+  | _ -> false
+
+(* [Fun.protect ~finally:(fun () -> Mutex.unlock m) f] releases on every
+   path; this is exactly the [Mutexes.with_lock] body shape. *)
+let is_protect_releasing ctx token (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (h, args) -> (
+      match head_key ctx h with
+      | Some key when S.dot_suffix ~suffix:"Fun.protect" key ->
+          List.exists
+            (fun (lbl, a) ->
+              match (lbl, a) with
+              | Asttypes.Labelled "finally", Some (fin : expression) -> (
+                  match fin.exp_desc with
+                  | Texp_function { cases = [ c ]; _ } ->
+                      is_unlock_of ctx token c.c_rhs
+                  | _ -> false)
+              | _ -> false)
+            args
+      | _ -> false)
+  | _ -> false
+
+(* --- R7: the conservative non-raising whitelist -------------------------- *)
+
+let safe_calls =
+  [
+    ":=";
+    "!";
+    "incr";
+    "decr";
+    "not";
+    "&&";
+    "||";
+    "+";
+    "-";
+    "*";
+    "~-";
+    "+.";
+    "-.";
+    "*.";
+    "=";
+    "<>";
+    "<";
+    ">";
+    "<=";
+    ">=";
+    "ignore";
+    "Atomic.get";
+    "Atomic.set";
+    "Atomic.incr";
+    "Atomic.decr";
+    "Atomic.exchange";
+    "Atomic.fetch_and_add";
+    "Atomic.compare_and_set";
+    "Condition.signal";
+    "Condition.broadcast";
+    "Condition.wait";
+    "Mutex.unlock";
+    "Queue.is_empty";
+    "Queue.length";
+    "Queue.push";
+    "Queue.add";
+    "Hashtbl.length";
+    "Hashtbl.replace";
+    "Hashtbl.find_opt";
+    "String.length";
+    "Array.length";
+  ]
+
+let rec non_raising ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_constant _ | Texp_ident _ | Texp_function _ -> true
+  | Texp_construct (_, _, es) | Texp_tuple es ->
+      List.for_all (non_raising ctx) es
+  | Texp_field (b, _, _) -> non_raising ctx b
+  | Texp_setfield (b, _, _, v) -> non_raising ctx b && non_raising ctx v
+  | Texp_sequence (a, b) -> non_raising ctx a && non_raising ctx b
+  | Texp_let (_, vbs, b) ->
+      List.for_all (fun vb -> non_raising ctx vb.vb_expr) vbs
+      && non_raising ctx b
+  | Texp_ifthenelse (c, t, f) ->
+      non_raising ctx c && non_raising ctx t
+      && (match f with None -> true | Some f -> non_raising ctx f)
+  | Texp_apply (h, args) -> (
+      match head_key ctx h with
+      | Some key ->
+          T.mem_s key safe_calls
+          && List.for_all
+               (fun (_, a) ->
+                 match a with Some a -> non_raising ctx a | None -> true)
+               args
+      | None -> false)
+  | _ -> false
+
+(* Scan the continuation of [Mutex.lock m] for the matching unlock,
+   requiring everything before it to be provably non-raising. [Ok ()]
+   means the lock provably releases on every path. *)
+let rec r7_scan ctx token (e : expression) =
+  if is_unlock_of ctx token e then Ok ()
+  else if is_protect_releasing ctx token e then Ok ()
+  else
+    match e.exp_desc with
+    | Texp_sequence (a, b) ->
+        if is_unlock_of ctx token a then Ok ()
+        else if non_raising ctx a then r7_scan ctx token b
+        else Error a.exp_loc
+    | Texp_let (_, vbs, b) ->
+        if List.for_all (fun vb -> non_raising ctx vb.vb_expr) vbs then
+          r7_scan ctx token b
+        else Error e.exp_loc
+    | _ -> Error e.exp_loc
+
+(* --- R6 checks ----------------------------------------------------------- *)
+
+let check_acquire ctx cls loc =
+  List.iter
+    (fun (h, _) ->
+      if S.order_violation ctx.genv ~acquiring:cls ~held:h then
+        report ctx loc "R6"
+          (Printf.sprintf
+             "acquires lock class '%s' while holding '%s'; the declared \
+              [@@@ppdc.lock_order] puts '%s' strictly outside '%s' — \
+              release '%s' first or restructure the critical sections"
+             cls h cls h h))
+    ctx.held
+
+(* A call to a function whose (transitive) summary acquires a class the
+   current held set orders after it. The witness chain names the path
+   the fixpoint found, so cross-module inversions are actionable. *)
+let check_call ctx key loc =
+  match S.resolve ctx.genv key with
+  | None -> ()
+  | Some g ->
+      if not g.S.exempt then
+        List.iter
+          (fun (c, via) ->
+            List.iter
+              (fun (h, _) ->
+                if S.order_violation ctx.genv ~acquiring:c ~held:h then
+                  report ctx loc "R6"
+                    (Printf.sprintf
+                       "call acquires lock class '%s' (via %s) while \
+                        holding '%s'; the declared order puts '%s' \
+                        strictly outside '%s'"
+                       c
+                       (String.concat " -> " via)
+                       h c h))
+              ctx.held)
+          g.S.trans
+
+(* --- R8: purity of Parallel closures ------------------------------------ *)
+
+let rec pat_vars : type k. k general_pattern -> string list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (id, _) -> [ Ident.name id ]
+  | Tpat_alias (q, id, _) -> Ident.name id :: pat_vars q
+  | Tpat_tuple ps -> List.concat_map pat_vars ps
+  | Tpat_array ps -> List.concat_map pat_vars ps
+  | Tpat_construct (_, _, ps, _) -> List.concat_map pat_vars ps
+  | Tpat_variant (_, Some q, _) -> pat_vars q
+  | Tpat_record (fs, _) -> List.concat_map (fun (_, _, q) -> pat_vars q) fs
+  | Tpat_lazy q -> pat_vars q
+  | Tpat_or (a, b, _) -> pat_vars a @ pat_vars b
+  | Tpat_value v -> pat_vars (v :> value general_pattern)
+  | Tpat_exception q -> pat_vars q
+  | _ -> []
+
+let rec base_ident (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (Ident.name (Path.head p))
+  | Texp_field (b, _, _) -> base_ident b
+  | _ -> None
+
+(* Receiver-first mutators on the standard containers. *)
+let set_like =
+  [
+    "Array.set";
+    "Array.unsafe_set";
+    "Bytes.set";
+    "Bytes.unsafe_set";
+    "Bigarray.Array1.set";
+    "Bigarray.Array1.unsafe_set";
+    "Bigarray.Array2.set";
+    "Bigarray.Array2.unsafe_set";
+    "Bigarray.Genarray.set";
+  ]
+
+let container_mutators =
+  [
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.remove";
+    "Hashtbl.reset";
+    "Hashtbl.clear";
+    "Queue.push";
+    "Queue.add";
+    "Queue.pop";
+    "Queue.take";
+    "Queue.clear";
+    "Queue.transfer";
+    "Stack.push";
+    "Stack.pop";
+    "Stack.clear";
+    "Buffer.add_string";
+    "Buffer.add_char";
+    "Buffer.add_bytes";
+    "Buffer.clear";
+    "Buffer.reset";
+  ]
+
+let ref_writers = [ ":="; "incr"; "decr" ]
+
+let r8_check ctx entry_key (closure : expression) =
+  let locals = ref [] in
+  let mentions_local (e : expression) =
+    let found = ref false in
+    let super = Tast_iterator.default_iterator in
+    let expr it (e : expression) =
+      (match e.exp_desc with
+      | Texp_ident (p, _, _) ->
+          if T.mem_s (Ident.name (Path.head p)) !locals then found := true
+      | _ -> ());
+      super.expr it e
+    in
+    let it = { super with expr } in
+    it.expr it e;
+    !found
+  in
+  let captured (e : expression) =
+    match base_ident e with
+    | Some n -> if T.mem_s n !locals then None else Some n
+    | None -> None  (* complex receiver: assume locally constructed *)
+  in
+  let rep loc msg =
+    report ctx loc "R8"
+      (Printf.sprintf "%s inside a closure passed to %s %s" msg entry_key
+         "— Parallel closures must only write state indexed by their own \
+          loop variable and must not take locks")
+  in
+  let super = Tast_iterator.default_iterator in
+  let with_scope names f =
+    let saved = !locals in
+    locals := names @ saved;
+    Fun.protect ~finally:(fun () -> locals := saved) f
+  in
+  let rec expr it (e : expression) =
+    with_allows ctx (T.allow_tokens e.exp_attributes) @@ fun () ->
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun c ->
+            with_scope (pat_vars c.c_lhs) (fun () ->
+                Option.iter (expr it) c.c_guard;
+                expr it c.c_rhs))
+          cases
+    | Texp_let (_, vbs, b) ->
+        List.iter (fun vb -> expr it vb.vb_expr) vbs;
+        with_scope (List.concat_map (fun vb -> pat_vars vb.vb_pat) vbs)
+          (fun () -> expr it b)
+    | Texp_match (scr, cases, _) ->
+        expr it scr;
+        List.iter
+          (fun c ->
+            with_scope (pat_vars c.c_lhs) (fun () ->
+                Option.iter (expr it) c.c_guard;
+                expr it c.c_rhs))
+          cases
+    | Texp_for (id, _, lo, hi, _, body) ->
+        expr it lo;
+        expr it hi;
+        with_scope [ Ident.name id ] (fun () -> expr it body)
+    | Texp_setfield (b, _, _, v) ->
+        (match captured b with
+        | Some n ->
+            rep e.exp_loc
+              (Printf.sprintf "write to field of captured '%s'" n)
+        | None -> ());
+        expr it b;
+        expr it v
+    | Texp_apply (h, args) ->
+        (match head_key ctx h with
+        | Some key ->
+            let qkey = S.qualify ctx.unit_name key in
+            if S.is_with_lock key || S.is_mutex_lock key then
+              rep e.exp_loc "lock acquisition"
+            else if T.mem_s key ref_writers then (
+              match S.first_pos_arg args with
+              | Some r -> (
+                  match captured r with
+                  | Some n ->
+                      rep e.exp_loc
+                        (Printf.sprintf "write to captured ref '%s'" n)
+                  | None -> ())
+              | None -> ())
+            else if T.mem_s key set_like then (
+              match args with
+              | (_, Some recv) :: rest -> (
+                  match captured recv with
+                  | Some n ->
+                      (* index args (all but the stored value) naming a
+                         closure-local mean "my slot": the blessed
+                         pattern. *)
+                      let index_args =
+                        match List.rev rest with
+                        | _value :: idx_rev -> List.rev idx_rev
+                        | [] -> []
+                      in
+                      if
+                        not
+                          (List.exists
+                             (fun (_, a) ->
+                               match a with
+                               | Some a -> mentions_local a
+                               | None -> false)
+                             index_args)
+                      then
+                        rep e.exp_loc
+                          (Printf.sprintf
+                             "write to captured '%s' at an index \
+                              independent of the loop variable"
+                             n)
+                  | None -> ())
+              | _ -> ())
+            else if T.mem_s key container_mutators then (
+              match S.first_pos_arg args with
+              | Some recv -> (
+                  match captured recv with
+                  | Some n ->
+                      rep e.exp_loc
+                        (Printf.sprintf
+                           "mutation of captured container '%s'" n)
+                  | None -> ())
+              | None -> ())
+            else
+              (* a known callee whose closed summary takes locks *)
+              (match S.resolve ctx.genv qkey with
+              | Some g when (not g.S.exempt) && g.S.trans <> [] ->
+                  let c, via = List.hd g.S.trans in
+                  rep e.exp_loc
+                    (Printf.sprintf
+                       "call transitively acquires lock class '%s' (via %s)"
+                       c
+                       (String.concat " -> " via))
+              | _ -> ())
+        | None -> ());
+        super.expr it e
+    | _ -> super.expr it e
+  in
+  let it = { super with expr } in
+  expr it closure
+
+(* --- the main walk ------------------------------------------------------- *)
+
+let iterator ctx =
+  let super = Tast_iterator.default_iterator in
+  let rec expr it (e : expression) =
+    with_allows ctx (T.allow_tokens e.exp_attributes) @@ fun () ->
+    match e.exp_desc with
+    | Texp_sequence (a, b) when lock_arg ctx a <> None ->
+        let m = Option.get (lock_arg ctx a) in
+        Hashtbl.replace ctx.consumed a.exp_loc ();
+        let cls = classify ctx m in
+        with_allows ctx (T.allow_tokens a.exp_attributes) (fun () ->
+            (match cls with
+            | Some c -> check_acquire ctx c a.exp_loc
+            | None -> ());
+            match mutex_token m with
+            | None ->
+                report ctx a.exp_loc "R7"
+                  "Mutex.lock on a computed mutex expression cannot be \
+                   matched to its unlock; use Mutexes.with_lock"
+            | Some tok -> (
+                match r7_scan ctx tok b with
+                | Ok () -> ()
+                | Error _ ->
+                    report ctx a.exp_loc "R7"
+                      "Mutex.lock without a provably-reached unlock on the \
+                       exception path; wrap the critical section in \
+                       Mutexes.with_lock (or Fun.protect ~finally)"));
+        expr it a;
+        with_held ctx cls a.exp_loc (fun () -> expr it b)
+    | Texp_apply (h, args) -> (
+        match head_key ctx h with
+        | None -> super.expr it e
+        | Some key ->
+            let qkey = S.qualify ctx.unit_name key in
+            if S.is_with_lock key then begin
+              let m = S.first_pos_arg args in
+              let cls = Option.bind m (classify ctx) in
+              (match cls with
+              | Some c -> check_acquire ctx c e.exp_loc
+              | None -> ());
+              Option.iter (expr it) m;
+              with_held ctx cls e.exp_loc (fun () ->
+                  List.iter
+                    (fun (_, a) ->
+                      match a with
+                      | Some (arg : expression) when not (Option.equal ( == ) (Some arg) m)
+                        ->
+                          (match arg.exp_desc with
+                          | Texp_ident (p, _, _) ->
+                              check_call ctx
+                                (S.qualify ctx.unit_name
+                                   (S.expand_alias ctx.aliases (T.norm_path p)))
+                                arg.exp_loc
+                          | _ -> ());
+                          expr it arg
+                      | _ -> ())
+                    args)
+            end
+            else if S.is_mutex_lock key then begin
+              if not (Hashtbl.mem ctx.consumed e.exp_loc) then begin
+                (match S.first_pos_arg args with
+                | Some m -> (
+                    match classify ctx m with
+                    | Some c -> check_acquire ctx c e.exp_loc
+                    | None -> ())
+                | None -> ());
+                report ctx e.exp_loc "R7"
+                  "Mutex.lock outside a recognized lock/unlock span; use \
+                   Mutexes.with_lock so the exception path releases"
+              end;
+              List.iter (fun (_, a) -> Option.iter (expr it) a) args
+            end
+            else if S.is_spawn key then
+              (* the spawned body runs with an empty held set *)
+              List.iter
+                (fun (_, a) ->
+                  match a with
+                  | Some (arg : expression) when S.is_function arg ->
+                      with_held_none ctx (fun () -> expr it arg)
+                  | Some arg -> expr it arg
+                  | None -> ())
+                args
+            else if S.is_parallel_entry key then begin
+              List.iter
+                (fun (_, a) ->
+                  match a with
+                  | Some (arg : expression) when S.is_function arg ->
+                      r8_check ctx key arg;
+                      with_held_none ctx (fun () -> expr it arg)
+                  | Some arg -> expr it arg
+                  | None -> ())
+                args
+            end
+            else begin
+              if String.starts_with ~prefix:"Unix." key && ctx.held <> []
+              then
+                report ctx e.exp_loc "R7"
+                  (Printf.sprintf
+                     "blocking call %s made while holding lock class '%s'; \
+                      move the syscall outside the critical section"
+                     key
+                     (fst (List.hd ctx.held)));
+              check_call ctx qkey e.exp_loc;
+              let callee_classes =
+                match S.resolve ctx.genv qkey with
+                | Some g -> g.S.calls_under
+                | None -> []
+              in
+              expr it h;
+              List.iter
+                (fun (_, a) ->
+                  match a with
+                  | Some (arg : expression) when S.is_function arg ->
+                      if callee_classes <> [] then
+                        with_held_classes ctx callee_classes e.exp_loc
+                          (fun () -> expr it arg)
+                      else expr it arg
+                  | Some arg -> expr it arg
+                  | None -> ())
+                args
+            end)
+    | _ -> super.expr it e
+  in
+  let value_binding it (vb : value_binding) =
+    with_allows ctx (T.allow_tokens vb.vb_attributes) (fun () ->
+        super.value_binding it vb)
+  in
+  { super with expr; value_binding }
+
+let check genv ~src ~modname ~file_allows (str : structure) =
+  let ctx =
+    {
+      src;
+      genv;
+      unit_name = T.norm_name modname;
+      aliases = S.aliases_of str;
+      active_allows = file_allows;
+      findings = [];
+      held = [];
+      consumed = Hashtbl.create 8;
+    }
+  in
+  let it = iterator ctx in
+  it.structure it str;
+  List.sort_uniq T.compare_findings ctx.findings

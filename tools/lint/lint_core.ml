@@ -15,93 +15,30 @@
                             nan/infinity/negative-index sentinels without
                             the mli documenting it (the [solve_n2] bug).
 
+   R6 lock-order          — acquiring a lock class the declared
+                            [@@@ppdc.lock_order] places outside one
+                            already held, including through any chain of
+                            calls ([Lint_summary] closes the call graph).
+   R7 unsafe-locking      — [Mutex.lock] with no unlock on the exception
+                            path, and Unix syscalls made under a lock.
+   R8 parallel-purity     — closures given to [Parallel.*] that take
+                            locks or write captured state unkeyed by the
+                            loop variable.
+
    Suppression: [@ppdc.allow "R1"] on an expression or binding,
    [@@@ppdc.allow "R4"] for a whole file, [@@ppdc.domain_safe "reason"]
-   to document the concurrency discipline of a global (R4), and
-   [@@ppdc.sentinel "reason"] on the mli val to document a sentinel
-   contract (R5). *)
+   to document the concurrency discipline of a global (R4) or to exempt
+   a function's acquisitions from R8, and [@@ppdc.sentinel "reason"] on
+   the mli val to document a sentinel contract (R5). R6-R8 declare
+   their model with [@@@ppdc.lock_order], [@ppdc.guards] and
+   [@@ppdc.calls_under] — see EXTENDING.md. *)
 
 open Typedtree
 
-type finding = {
-  file : string;
-  line : int;
-  col : int;
-  rule : string;  (* "R1" .. "R5" *)
-  slug : string;  (* "poly-compare" .. *)
-  msg : string;
-}
-
-let rule_slugs =
-  [
-    ("R1", "poly-compare");
-    ("R2", "float-equality");
-    ("R3", "quadratic-list");
-    ("R4", "domain-unsafe-global");
-    ("R5", "sentinel-escape");
-  ]
-
-let to_string f =
-  Printf.sprintf "%s:%d:%d [%s-%s] %s" f.file f.line f.col f.rule f.slug f.msg
-
-let compare_findings a b =
-  match String.compare a.file b.file with
-  | 0 -> (
-      match Int.compare a.line b.line with
-      | 0 -> (
-          match Int.compare a.col b.col with
-          | 0 -> String.compare a.rule b.rule
-          | c -> c)
-      | c -> c)
-  | c -> c
-
-(* --- attribute helpers ------------------------------------------------- *)
-
-(* Payload of [@ppdc.allow "R1 R3"] / [@@ppdc.domain_safe "reason"]:
-   every string constant in the payload, split on spaces and commas. *)
-let attr_tokens (attr : Parsetree.attribute) =
-  let consts =
-    match attr.attr_payload with
-    | PStr items ->
-        List.concat_map
-          (fun (it : Parsetree.structure_item) ->
-            match it.pstr_desc with
-            | Pstr_eval (e, _) ->
-                let rec consts (e : Parsetree.expression) =
-                  match e.pexp_desc with
-                  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
-                  | Pexp_tuple es -> List.concat_map consts es
-                  | Pexp_apply (f, args) ->
-                      consts f
-                      @ List.concat_map (fun (_, a) -> consts a) args
-                  | _ -> []
-                in
-                consts e
-            | _ -> [])
-          items
-    | _ -> []
-  in
-  consts
-  |> List.concat_map (String.split_on_char ' ')
-  |> List.concat_map (String.split_on_char ',')
-  |> List.filter (fun s -> s <> "")
-
-let attrs_named name (attrs : Parsetree.attributes) =
-  List.filter
-    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
-    attrs
-
-let has_attr name attrs = attrs_named name attrs <> []
-
-let allow_tokens attrs =
-  List.concat_map attr_tokens (attrs_named "ppdc.allow" attrs)
-
-(* A token suppresses a rule if it is the id ("R1", any case), the slug
-   ("poly-compare"), or the printed form ("R1-poly-compare"). *)
-let token_matches token (id, slug) =
-  let t = String.lowercase_ascii token in
-  let id = String.lowercase_ascii id in
-  String.equal t id || String.equal t slug || String.equal t (id ^ "-" ^ slug)
+(* The finding record, rule table and attribute plumbing live in
+   [Lint_types]; re-exported here so callers keep the historical
+   [Lint_core.finding] / [Lint_core.to_string] API. *)
+include Lint_types
 
 (* --- per-file context --------------------------------------------------- *)
 
@@ -164,22 +101,6 @@ let is_float ty =
 
 let first_arg ty =
   match Types.get_desc ty with Tarrow (_, a, _, _) -> Some a | _ -> None
-
-(* --- path normalization ------------------------------------------------- *)
-
-let strip_prefix ~prefix s =
-  if String.starts_with ~prefix s then
-    String.sub s (String.length prefix) (String.length s - String.length prefix)
-  else s
-
-(* "Stdlib.List.nth" / "Stdlib__List.nth" / "List.nth" -> "List.nth". *)
-let norm_path p =
-  Path.name p
-  |> strip_prefix ~prefix:"Stdlib!."
-  |> strip_prefix ~prefix:"Stdlib."
-  |> strip_prefix ~prefix:"Stdlib__"
-
-let mem_s x l = List.exists (String.equal x) l
 
 (* --- R1/R2/R3: occurrence-based rules ----------------------------------- *)
 
@@ -500,7 +421,7 @@ let file_allows (str : structure) =
       | _ -> [])
     str.str_items
 
-let analyze_cmt ?(lib_prefixes = [ "lib/" ]) cmt_path =
+let analyze_cmt ?(lib_prefixes = [ "lib/" ]) ?genv cmt_path =
   match Cmt_format.read_cmt cmt_path with
   | exception _ -> []
   | info -> (
@@ -527,7 +448,16 @@ let analyze_cmt ?(lib_prefixes = [ "lib/" ]) cmt_path =
           check_r5 ctx str;
           let it = iterator ctx in
           it.structure it str;
-          List.sort_uniq compare_findings ctx.findings
+          (* R6-R8 replay the file against the cross-file summaries; a
+             bare [analyze_cmt] (no genv) runs the per-file rules only. *)
+          let concurrency =
+            match genv with
+            | None -> []
+            | Some genv ->
+                Lint_concurrency.check genv ~src ~modname:info.cmt_modname
+                  ~file_allows:(file_allows str) str
+          in
+          List.sort_uniq compare_findings (concurrency @ ctx.findings)
       | _ -> [])
 
 let rec collect_cmts dir acc =
@@ -542,11 +472,15 @@ let rec collect_cmts dir acc =
           else acc)
         acc entries
 
+(* Two phases over the same cmt set: collect + close the concurrency
+   summaries (so R6/R8 see through cross-module calls anywhere in the
+   scan), then check every file. *)
 let scan ?lib_prefixes roots =
-  List.concat_map
-    (fun root ->
-      collect_cmts root []
-      |> List.sort String.compare
-      |> List.concat_map (analyze_cmt ?lib_prefixes))
-    roots
+  let cmts =
+    List.concat_map
+      (fun root -> List.sort String.compare (collect_cmts root []))
+      roots
+  in
+  let genv = Lint_summary.build cmts in
+  List.concat_map (analyze_cmt ?lib_prefixes ~genv) cmts
   |> List.sort_uniq compare_findings

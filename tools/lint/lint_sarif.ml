@@ -1,0 +1,69 @@
+(* Minimal SARIF 2.1.0 emitter for ppdc-lint findings. Self-contained
+   (own JSON escaping) so the lint toolchain keeps zero dependencies on
+   the analyzed libraries. One run, one rule descriptor per R-id, one
+   result per finding. *)
+
+let json_escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let str s =
+  let buf = Buffer.create (String.length s + 2) in
+  json_escape_into buf s;
+  Buffer.contents buf
+
+let rule_descriptions =
+  [
+    ("R1", "Polymorphic compare/min/max/mem instantiated at float");
+    ("R2", "=/<> at type float (NaN-unsound)");
+    ("R3", "List.nth inside library code (quadratic in loops)");
+    ("R4", "Top-level mutable state in libraries run under Parallel");
+    ("R5", "Exported function can return an undocumented sentinel");
+    ("R6", "Lock acquisition inverting the declared lock order");
+    ("R7", "Mutex.lock without a provably-reached unlock on the exception path");
+    ("R8", "Impure closure passed to a Parallel entry point");
+  ]
+
+let rule_json (id, slug) =
+  let desc =
+    match List.assoc_opt id rule_descriptions with
+    | Some d -> d
+    | None -> slug
+  in
+  Printf.sprintf
+    {|{"id":%s,"name":%s,"shortDescription":{"text":%s},"defaultConfiguration":{"level":"error"}}|}
+    (str id) (str slug) (str desc)
+
+let result_json (f : Lint_types.finding) =
+  Printf.sprintf
+    {|{"ruleId":%s,"level":"error","message":{"text":%s},"locations":[{"physicalLocation":{"artifactLocation":{"uri":%s},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (str f.rule)
+    (str (Printf.sprintf "[%s-%s] %s" f.rule f.slug f.msg))
+    (str f.file) f.line
+    (* SARIF columns are 1-based; the text output keeps the compiler's
+       0-based convention. *)
+    (f.col + 1)
+
+let to_string findings =
+  let rules = List.map rule_json Lint_types.rule_slugs in
+  let results = List.map result_json findings in
+  String.concat ""
+    [
+      {|{"$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"ppdc-lint","informationUri":"https://example.invalid/ppdc-lint","version":"1.0.0","rules":[|};
+      String.concat "," rules;
+      {|]}},"results":[|};
+      String.concat "," results;
+      {|]}]}|};
+    ]

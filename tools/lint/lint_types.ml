@@ -1,0 +1,135 @@
+(* Shared vocabulary of ppdc-lint: the finding record, the rule table,
+   attribute plumbing and path normalization. Everything here is used
+   by at least two of [Lint_core] (R1-R5), [Lint_summary] /
+   [Lint_concurrency] (R6-R8) and [Lint_sarif]. [Lint_core] re-exports
+   this module wholesale so external callers keep the historical
+   [Lint_core.finding] / [Lint_core.to_string] API. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (* "R1" .. "R8" *)
+  slug : string;  (* "poly-compare" .. *)
+  msg : string;
+}
+
+let rule_slugs =
+  [
+    ("R1", "poly-compare");
+    ("R2", "float-equality");
+    ("R3", "quadratic-list");
+    ("R4", "domain-unsafe-global");
+    ("R5", "sentinel-escape");
+    ("R6", "lock-order");
+    ("R7", "unsafe-locking");
+    ("R8", "parallel-purity");
+  ]
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s-%s] %s" f.file f.line f.col f.rule f.slug f.msg
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let mem_s x l = List.exists (String.equal x) l
+
+(* --- attribute helpers ------------------------------------------------- *)
+
+(* Payload of [@ppdc.allow "R1 R3"] / [@@@ppdc.lock_order "a b c"]:
+   every string constant in the payload, split on spaces and commas.
+   List literals ([@@@ppdc.lock_order ["a"; "b"]]) are traversed via
+   their [::] applications. *)
+let attr_tokens (attr : Parsetree.attribute) =
+  let consts =
+    match attr.attr_payload with
+    | PStr items ->
+        List.concat_map
+          (fun (it : Parsetree.structure_item) ->
+            match it.pstr_desc with
+            | Pstr_eval (e, _) ->
+                let rec consts (e : Parsetree.expression) =
+                  match e.pexp_desc with
+                  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+                  | Pexp_tuple es -> List.concat_map consts es
+                  | Pexp_construct (_, Some arg) -> consts arg
+                  | Pexp_apply (f, args) ->
+                      consts f
+                      @ List.concat_map (fun (_, a) -> consts a) args
+                  | _ -> []
+                in
+                consts e
+            | _ -> [])
+          items
+    | _ -> []
+  in
+  consts
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun s -> s <> "")
+
+let attrs_named name (attrs : Parsetree.attributes) =
+  List.filter
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+let has_attr name attrs = attrs_named name attrs <> []
+
+let allow_tokens attrs =
+  List.concat_map attr_tokens (attrs_named "ppdc.allow" attrs)
+
+(* A token suppresses a rule if it is the id ("R1", any case), the slug
+   ("poly-compare"), or the printed form ("R1-poly-compare"). *)
+let token_matches token (id, slug) =
+  let t = String.lowercase_ascii token in
+  let id = String.lowercase_ascii id in
+  String.equal t id || String.equal t slug || String.equal t (id ^ "-" ^ slug)
+
+(* --- path normalization ------------------------------------------------- *)
+
+let strip_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    String.sub s (String.length prefix) (String.length s - String.length prefix)
+  else s
+
+(* Undo dune's module-name mangling: "Ppdc_prelude__Obs" -> "Obs" etc.
+   Each dot-segment is split on "__" and only the last non-empty piece
+   kept ("Ppdc_lint_fixtures__" alone collapses to nothing and is
+   dropped). *)
+let demangle_segment seg =
+  let pieces =
+    (* String.split_on_char has no two-char splitter; scan by hand. *)
+    let out = ref [] and start = ref 0 in
+    let n = String.length seg in
+    for i = 0 to n - 2 do
+      if seg.[i] = '_' && seg.[i + 1] = '_' then begin
+        out := String.sub seg !start (i - !start) :: !out;
+        start := i + 2
+      end
+    done;
+    List.rev (String.sub seg !start (n - !start) :: !out)
+  in
+  match List.filter (fun p -> p <> "" && p <> "_") pieces with
+  | [] -> None
+  | ps -> Some (List.nth ps (List.length ps - 1))
+
+(* "Stdlib.List.nth" / "Stdlib__List.nth" / "Ppdc_prelude__Obs.incr"
+   -> "List.nth" / "Obs.incr". *)
+let norm_name s =
+  s
+  |> strip_prefix ~prefix:"Stdlib!."
+  |> strip_prefix ~prefix:"Stdlib."
+  |> strip_prefix ~prefix:"Stdlib__"
+  |> String.split_on_char '.'
+  |> List.filter_map demangle_segment
+  |> String.concat "."
+
+let norm_path p = norm_name (Path.name p)

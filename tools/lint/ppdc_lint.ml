@@ -1,9 +1,18 @@
 (* ppdc-lint CLI: map source dirs to their _build/default cmt trees,
    run the rules, print findings as file:line:col [rule] message, exit
    non-zero when anything fires. Run after `dune build` (the typed
-   trees are a build by-product). *)
+   trees are a build by-product).
+
+   Baselines let a new rule land warning-only: `--write-baseline F`
+   records the current findings as (rule, file, count) triples;
+   `--baseline F` then fails only when some (rule, file) count exceeds
+   the recorded one, so existing debt doesn't block CI while new debt
+   does. Counts rather than line numbers keep the baseline stable
+   under unrelated edits (line drift), at the cost of letting a file
+   swap one old finding for one new finding of the same rule. *)
 
 module Lint_core = Ppdc_lint_core.Lint_core
+module Lint_sarif = Ppdc_lint_core.Lint_sarif
 
 let usage =
   "ppdc-lint [OPTIONS] [DIR...]\n\
@@ -18,19 +27,93 @@ let usage =
   \  R3-quadratic-list      List.nth inside lib/\n\
   \  R4-domain-unsafe-global top-level mutable state in libraries\n\
   \  R5-sentinel-escape     exported fn returns nan/infinity/[-1] \
-   sentinel\n\n\
+   sentinel\n\
+  \  R6-lock-order          acquisition inverting [@@@ppdc.lock_order]\n\
+  \  R7-unsafe-locking      Mutex.lock with no unlock on the raise path\n\
+  \  R8-parallel-purity     impure closure given to Parallel.*\n\n\
    Suppression: [@ppdc.allow \"R1\"] on the expression/binding,\n\
-  \  [@@ppdc.domain_safe \"reason\"] (R4), [@@ppdc.sentinel \"reason\"] \
-   in the mli (R5).\n\n\
+  \  [@@ppdc.domain_safe \"reason\"] (R4, and R8 exemption on \
+   functions),\n\
+  \  [@@ppdc.sentinel \"reason\"] in the mli (R5). R6-R8 read\n\
+  \  [@@@ppdc.lock_order], [@ppdc.guards] and [@@ppdc.calls_under] — \
+   see EXTENDING.md.\n\n\
    Options:\n\
-  \  --lib-prefix P   treat sources under P as library code for R3/R4\n\
-  \                   (repeatable; default `lib/`; `''` means all)\n\
-  \  -q               print only the findings, no summary\n"
+  \  --lib-prefix P        treat sources under P as library code for \
+   R3/R4\n\
+  \                        (repeatable; default `lib/`; `''` means all)\n\
+  \  --format text|sarif   findings format on stdout (default text)\n\
+  \  --sarif-out FILE      additionally write SARIF 2.1.0 to FILE\n\
+  \  --baseline FILE       fail only on findings not in the baseline\n\
+  \  --write-baseline FILE record current findings and exit 0\n\
+  \  -q                    print only the findings, no summary\n"
+
+(* --- baseline ----------------------------------------------------------- *)
+
+(* One line per (rule, file) with a finding count, tab-separated and
+   sorted, so diffs of the baseline file itself are readable. *)
+let baseline_counts findings =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Lint_core.finding) ->
+      let key = (f.rule, f.file) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    findings;
+  Hashtbl.fold (fun (rule, file) n acc -> (rule, file, n) :: acc) tbl []
+  |> List.sort compare
+
+let write_baseline path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun (rule, file, n) -> Printf.fprintf oc "%s\t%d\t%s\n" rule n file)
+        (baseline_counts findings))
+
+let read_baseline path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tbl = Hashtbl.create 32 in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char '\t' line with
+           | [ rule; n; file ] -> (
+               match int_of_string_opt n with
+               | Some n -> Hashtbl.replace tbl (rule, file) n
+               | None -> ())
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      tbl)
+
+(* Findings in excess of the baseline count for their (rule, file). *)
+let new_findings baseline findings =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (f : Lint_core.finding) ->
+      let key = (f.rule, f.file) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt seen key) in
+      Hashtbl.replace seen key n;
+      n > Option.value ~default:0 (Hashtbl.find_opt baseline key))
+    findings
+
+(* --- entry point --------------------------------------------------------- *)
 
 let () =
   let dirs = ref [] in
   let lib_prefixes = ref [] in
   let quiet = ref false in
+  let format = ref `Text in
+  let sarif_out = ref None in
+  let baseline = ref None in
+  let write_baseline_to = ref None in
+  let missing_arg opt =
+    Printf.eprintf "ppdc-lint: %s expects an argument\n" opt;
+    exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--help" :: _ | "-help" :: _ ->
@@ -42,9 +125,27 @@ let () =
     | "--lib-prefix" :: p :: rest ->
         lib_prefixes := p :: !lib_prefixes;
         parse rest
-    | "--lib-prefix" :: [] ->
-        prerr_endline "ppdc-lint: --lib-prefix expects an argument";
+    | "--format" :: "text" :: rest ->
+        format := `Text;
+        parse rest
+    | "--format" :: "sarif" :: rest ->
+        format := `Sarif;
+        parse rest
+    | "--format" :: other :: _ ->
+        Printf.eprintf "ppdc-lint: unknown format %S (text or sarif)\n" other;
         exit 2
+    | "--sarif-out" :: p :: rest ->
+        sarif_out := Some p;
+        parse rest
+    | "--baseline" :: p :: rest ->
+        baseline := Some p;
+        parse rest
+    | "--write-baseline" :: p :: rest ->
+        write_baseline_to := Some p;
+        parse rest
+    | [ ("--lib-prefix" | "--format" | "--sarif-out" | "--baseline"
+        | "--write-baseline") as opt ] ->
+        missing_arg opt
     | d :: rest ->
         dirs := d :: !dirs;
         parse rest
@@ -64,15 +165,48 @@ let () =
       (String.concat ", " missing);
     exit 2
   end;
+  (match !baseline with
+  | Some p when not (Sys.file_exists p) ->
+      Printf.eprintf "ppdc-lint: no such baseline file: %s\n" p;
+      exit 2
+  | _ -> ());
   let lib_prefixes =
     match List.rev !lib_prefixes with [] -> None | ps -> Some ps
   in
   let findings = Lint_core.scan ?lib_prefixes (List.map resolve dirs) in
-  List.iter (fun f -> print_endline (Lint_core.to_string f)) findings;
-  match findings with
+  (match !write_baseline_to with
+  | Some path ->
+      write_baseline path findings;
+      if not !quiet then
+        Printf.eprintf "ppdc-lint: baseline (%d finding(s)) written to %s\n"
+          (List.length findings) path;
+      exit 0
+  | None -> ());
+  (match !sarif_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Lint_sarif.to_string findings))
+  | None -> ());
+  (* The gate: everything, or only what the baseline doesn't cover. *)
+  let gating =
+    match !baseline with
+    | None -> findings
+    | Some path -> new_findings (read_baseline path) findings
+  in
+  (match !format with
+  | `Text -> List.iter (fun f -> print_endline (Lint_core.to_string f)) gating
+  | `Sarif -> print_string (Lint_sarif.to_string gating));
+  match gating with
   | [] ->
       if not !quiet then
-        Printf.eprintf "ppdc-lint: clean (%s)\n" (String.concat " " dirs);
+        Printf.eprintf "ppdc-lint: clean (%s)%s\n" (String.concat " " dirs)
+          (match !baseline with
+          | Some _ when findings <> [] ->
+              Printf.sprintf " — %d baselined finding(s) suppressed"
+                (List.length findings)
+          | _ -> "");
       exit 0
   | fs ->
       if not !quiet then
