@@ -30,20 +30,24 @@ lint-baseline: build
 bench:
 	dune exec bench/main.exe
 
-# Gate the flat-graph and dynamic-repair hot paths against the
-# committed trajectories. Entries are compared after normalizing by
-# each bench's in-run reference entry, so the check is meaningful on
-# hardware other than the one that recorded the baseline; the dynamic
-# bench additionally enforces its in-run repair-vs-rebuild speedup
-# floor. Tolerance: PPDC_BENCH_TOLERANCE (default 0.10).
+# Gate the flat-graph and dynamic-repair hot paths, and the
+# event-simulator cost trajectory, against the committed baselines.
+# Entries are compared after normalizing by each bench's in-run
+# reference entry, so the check is meaningful on hardware other than
+# the one that recorded the baseline; the dynamic bench additionally
+# enforces its in-run repair-vs-rebuild speedup floor, and the events
+# bench (deterministic costs, not times) its mu trade-off and trigger
+# dominance invariants. Tolerance: PPDC_BENCH_TOLERANCE (default 0.10).
 bench-check: build
 	dune exec bench/flatgraph.exe -- --check BENCH_flatgraph.json
 	dune exec bench/dynamic.exe -- --check BENCH_dynamic.json
+	dune exec bench/events.exe -- --check BENCH_events.json
 
 # Re-record the committed baselines (run on a quiet machine).
 bench-baseline: build
 	dune exec bench/flatgraph.exe -- --out BENCH_flatgraph.json
 	dune exec bench/dynamic.exe -- --out BENCH_dynamic.json
+	dune exec bench/events.exe -- --out BENCH_events.json
 
 clean:
 	dune clean

@@ -46,6 +46,16 @@ let record t name ~reps f =
   Printf.eprintf "  %-22s %8.3fs (min of %d)\n%!" name seconds reps;
   t.entries <- { name; seconds; reps } :: t.entries
 
+(* Record a deterministic statistic (a cost, a move count) instead of
+   a wall time. The artifact reuses the [seconds] slot, so the
+   normalized `--check` gate compares exact in-run ratios — for a
+   deterministic bench the committed trajectory reproduces bit-for-bit
+   on any machine, and any drift is a real behavior change, not
+   noise. *)
+let record_value t name value =
+  Printf.eprintf "  %-22s %14.4f\n%!" name value;
+  t.entries <- { name; seconds = value; reps = 1 } :: t.entries
+
 let to_json ~quick ~reference entries =
   Json.Obj
     [

@@ -276,55 +276,176 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ k_arg $ l_arg $ seed_arg $ output_arg)
 
+(* The discrete-event variant of `simulate`: the same diurnal day as
+   an event stream, replayed by Event_engine under a when-to-migrate
+   trigger, optionally enriched with probe ticks and a failure
+   episode. *)
+let simulate_events ~problem ~trace_path ~seed ~mu ~policy ~trigger
+    ~probe_every ~failure_at =
+  let module Events = Ppdc_traffic.Events in
+  let module Event_engine = Ppdc_sim.Event_engine in
+  let scenario, base =
+    match trace_path with
+    | None ->
+        let scenario = Scenario.make ~mu problem in
+        (scenario, Scenario.events_of_diurnal scenario)
+    | Some path ->
+        let trace = Ppdc_traffic.Trace.load ~path in
+        let problem =
+          Problem.make ~cm:(Problem.cm problem)
+            ~flows:trace.Ppdc_traffic.Trace.flows ~n:(Problem.n problem) ()
+        in
+        (Scenario.make ~mu problem, Events.of_trace trace)
+  in
+  let stream = ref base in
+  (match probe_every with
+  | None -> ()
+  | Some every ->
+      stream :=
+        Events.merge !stream
+          (Events.probes ~every ~horizon:(Events.horizon base)));
+  (match failure_at with
+  | None -> ()
+  | Some at ->
+      stream :=
+        Events.merge !stream
+          (Scenario.failure_episode
+             ~rng:(Rng.create (seed + 0xfa11))
+             ~at ~duration:1.5 ~fraction:0.05 scenario));
+  let r = Event_engine.run scenario ~policy ~trigger ~events:!stream () in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "event-driven day: %s, trigger %s (mu=%g)"
+           (Engine.policy_name policy)
+           (Event_engine.trigger_name trigger)
+           mu)
+      ~columns:[ "time"; "event"; "comm"; "fired"; "migration"; "moves" ]
+  in
+  Array.iter
+    (fun (e : Event_engine.event_record) ->
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" e.time;
+          e.kind;
+          Printf.sprintf "%.0f" e.comm_charge;
+          (if e.fired then "*" else "");
+          Printf.sprintf "%.0f" e.migration_cost;
+          string_of_int e.moved;
+        ])
+    r.records;
+  Table.print table;
+  Printf.printf
+    "day total: %.0f (comm %.0f + migration %.0f; %d reconfigurations, %d \
+     moves)\n"
+    r.total_cost r.total_comm r.total_migration r.reconfigurations
+    r.total_moves
+
+let trigger_conv =
+  let parse s =
+    match Ppdc_sim.Event_engine.trigger_of_string s with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt t ->
+        Format.pp_print_string fmt (Ppdc_sim.Event_engine.trigger_name t) )
+
 let simulate_cmd =
-  let run j k l n seed mu policy trace_path metrics =
+  let run j k l n seed mu policy trace_path events trigger probe_every
+      failure_at metrics =
     apply_domains j;
     with_metrics metrics @@ fun () ->
     let problem = problem_of ~weighted:false ~k ~l ~n ~seed in
-    let scenario = Scenario.make ~mu problem in
-    let run =
-      match trace_path with
-      | None -> Engine.run_day scenario ~policy
-      | Some path ->
-          let trace = Ppdc_traffic.Trace.load ~path in
-          let flows = trace.Ppdc_traffic.Trace.flows in
-          let problem =
-            Problem.make ~cm:(Problem.cm problem) ~flows
-              ~n:(Problem.n problem) ()
-          in
-          Engine.run_trace (Scenario.make ~mu problem) ~policy ~trace
-    in
-    let table =
-      Table.create
-        ~title:
-          (Printf.sprintf "simulated day: %s (k=%d, l=%d, n=%d, mu=%g)"
-             (Engine.policy_name policy) k l n mu)
-        ~columns:[ "hour"; "comm"; "migration"; "moves"; "total" ]
-    in
-    Array.iter
-      (fun (h : Engine.hour_record) ->
-        Table.add_row table
-          [
-            string_of_int h.hour;
-            Printf.sprintf "%.0f" h.comm_cost;
-            Printf.sprintf "%.0f" h.migration_cost;
-            string_of_int h.migrations;
-            Printf.sprintf "%.0f" h.total_cost;
-          ])
-      run.hours;
-    Table.print table;
-    Printf.printf "day total: %.0f (%d migrations)\n" run.total_cost
-      run.total_migrations
+    if events || Option.is_some trigger then
+      simulate_events ~problem ~trace_path ~seed ~mu ~policy
+        ~trigger:
+          (Option.value ~default:(Ppdc_sim.Event_engine.Periodic 1.0) trigger)
+        ~probe_every ~failure_at
+    else begin
+      let scenario = Scenario.make ~mu problem in
+      let run =
+        match trace_path with
+        | None -> Engine.run_day scenario ~policy
+        | Some path ->
+            let trace = Ppdc_traffic.Trace.load ~path in
+            let flows = trace.Ppdc_traffic.Trace.flows in
+            let problem =
+              Problem.make ~cm:(Problem.cm problem) ~flows
+                ~n:(Problem.n problem) ()
+            in
+            Engine.run_trace (Scenario.make ~mu problem) ~policy ~trace
+      in
+      let table =
+        Table.create
+          ~title:
+            (Printf.sprintf "simulated day: %s (k=%d, l=%d, n=%d, mu=%g)"
+               (Engine.policy_name policy) k l n mu)
+          ~columns:[ "hour"; "comm"; "migration"; "moves"; "total" ]
+      in
+      Array.iter
+        (fun (h : Engine.hour_record) ->
+          Table.add_row table
+            [
+              string_of_int h.hour;
+              Printf.sprintf "%.0f" h.comm_cost;
+              Printf.sprintf "%.0f" h.migration_cost;
+              string_of_int h.migrations;
+              Printf.sprintf "%.0f" h.total_cost;
+            ])
+        run.hours;
+      Table.print table;
+      Printf.printf "day total: %.0f (%d migrations)\n" run.total_cost
+        run.total_migrations
+    end
   in
   let trace_arg =
     let doc = "Replay a trace file (from $(b,ppdc trace)) instead of the built-in diurnal model; -l and --seed are then ignored for the workload." in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let events_arg =
+    let doc =
+      "Run the discrete-event simulator instead of the hour engine: the day \
+       becomes an event stream (one rate update per hour, or per trace \
+       epoch with $(b,--trace)) and reconfiguration is decided by \
+       $(b,--trigger). Implied by $(b,--trigger)."
+    in
+    Arg.(value & flag & info [ "events" ] ~doc)
+  in
+  let trigger_arg =
+    let doc =
+      "When-to-migrate trigger for $(b,--events): $(b,periodic:SPAN), \
+       $(b,threshold:RATIO), $(b,hysteresis:UP,DOWN) or $(b,on-event). \
+       Default periodic:1 (which reproduces the hour engine exactly)."
+    in
+    Arg.(
+      value
+      & opt (some trigger_conv) None
+      & info [ "trigger" ] ~docv:"TRIGGER" ~doc)
+  in
+  let probe_every_arg =
+    let doc =
+      "With $(b,--events): add probe ticks every $(docv) hours so triggers \
+       can fire between state changes."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "probe-every" ] ~docv:"SPAN" ~doc)
+  in
+  let failure_at_arg =
+    let doc =
+      "With $(b,--events): fail a random 5% of switch-switch links at \
+       $(docv) hours and repair them 1.5 hours later."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "failure-at" ] ~docv:"T" ~doc)
+  in
   let doc = "Simulate a 12-hour diurnal day under a migration policy." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ domains_arg $ k_arg $ l_arg $ n_arg $ seed_arg $ mu_arg
-      $ policy_arg $ trace_arg $ metrics_arg)
+      $ policy_arg $ trace_arg $ events_arg $ trigger_arg $ probe_every_arg
+      $ failure_at_arg $ metrics_arg)
 
 (* --- ilp ------------------------------------------------------------------ *)
 

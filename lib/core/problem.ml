@@ -59,4 +59,6 @@ let with_n t n = build t.cm t.flows n t.switch_ids
 
 let with_flows t flows = build t.cm flows t.n t.switch_ids
 
+let with_cm t cm = build cm t.flows t.n t.switch_ids
+
 let with_switches t switch_ids = build t.cm t.flows t.n switch_ids

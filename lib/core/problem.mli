@@ -50,3 +50,9 @@ val with_flows : t -> Ppdc_traffic.Flow.t array -> t
 
 val with_switches : t -> int array -> t
 (** Same instance restricted to the given candidate switches. *)
+
+val with_cm : t -> Ppdc_topology.Cost_matrix.t -> t
+(** Same instance on a different cost matrix (e.g. after a link
+    failure or repair re-derived it). Candidate switches and flow
+    endpoints are re-validated against the new graph, so the matrix
+    must cover the same node ids and kinds. *)

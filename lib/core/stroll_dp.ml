@@ -154,9 +154,18 @@ let extend_one_level t =
     let row = i * nn in
     (* Intermediate u: not i itself, not dst (local 0), and no immediate
        backtrack (the previous level's stroll from u must not return
-       straight to i). *)
+       straight to i). The ban is exempt at i = 0: a walk from local 0
+       only exists when src = dst, and there u "returning" to 0 is the
+       walk's final hop into dst — the optimal closed stroll
+       dst -> u -> dst — not a mid-walk bounce. best.(0) is never read
+       as a predecessor level (u ranges over 1..nn-1), so the exemption
+       cannot feed a bounce into any longer walk. *)
     for u = 1 to nn - 1 do
-      if u <> i && prev_succ.(u) <> i && prev_best.(u) < infinity then begin
+      if
+        u <> i
+        && (i = 0 || prev_succ.(u) <> i)
+        && prev_best.(u) < infinity
+      then begin
         let candidate = t.dist.(row + u) +. prev_best.(u) in
         if candidate < best.(i) then begin
           best.(i) <- candidate;

@@ -78,6 +78,12 @@ let all =
       run = Ablations.lookahead;
     };
     {
+      id = "eta_sweep";
+      summary =
+        "Event-driven day: migration-coefficient and trigger-policy sweeps";
+      run = Eta_sweep.run;
+    };
+    {
       id = "ext_capacity";
       summary = "Extension: multiple VNFs per switch (block reduction)";
       run = Extensions_exp.capacity;

@@ -508,6 +508,76 @@ let fail_links t params =
       ("repaired_cost_matrix", Bool repaired);
     ]
 
+(* Replay a discrete-event day against the session's fabric and
+   workload. Everything runs on copies — the event engine owns its
+   placement/problem state and the session's graph, flows, rates and
+   placement are left untouched — so a monitoring client can explore
+   "what would a threshold trigger have done" without perturbing the
+   live session. *)
+let simulate_events t params =
+  with_session t params @@ fun s ->
+  let mu = Option.value ~default:1e4 (Protocol.float_param params "mu") in
+  let trigger =
+    let spec =
+      Option.value ~default:"periodic:1" (Protocol.str_param params "trigger")
+    in
+    match Ppdc_sim.Event_engine.trigger_of_string spec with
+    | trigger -> trigger
+    | exception Invalid_argument msg -> reject Invalid_params "%s" msg
+  in
+  let policy =
+    match
+      Option.value ~default:"mpareto" (Protocol.str_param params "policy")
+    with
+    | "mpareto" -> Ppdc_sim.Engine.Mpareto
+    | "optimal" -> Ppdc_sim.Engine.Optimal
+    | "forecast" -> Ppdc_sim.Engine.Mpareto_lookahead
+    | "plan" -> Ppdc_sim.Engine.Plan
+    | "mcf" -> Ppdc_sim.Engine.Mcf
+    | "none" -> Ppdc_sim.Engine.No_migration
+    | other ->
+        reject Invalid_params
+          "unknown policy %S (expected mpareto, optimal, forecast, plan, mcf \
+           or none)"
+          other
+  in
+  let t0 = Clock.now () in
+  let hit, problem = problem_of t s in
+  let scenario = Ppdc_sim.Scenario.make ~mu problem in
+  let events =
+    let base = Ppdc_sim.Scenario.events_of_diurnal scenario in
+    match Protocol.float_param params "probe_every" with
+    | None -> base
+    | Some every when Float.is_finite every && Float.compare every 0.0 > 0 ->
+        Ppdc_traffic.Events.merge base
+          (Ppdc_traffic.Events.probes ~every
+             ~horizon:(Ppdc_traffic.Events.horizon base))
+    | Some _ -> reject Invalid_params "probe_every must be finite positive"
+  in
+  let r =
+    match
+      Ppdc_sim.Event_engine.run scenario ~policy ~trigger ~events ()
+    with
+    | r -> r
+    | exception Invalid_argument msg -> reject Invalid_params "%s" msg
+  in
+  Json.Obj
+    [
+      ("policy", Json.Str (Ppdc_sim.Engine.policy_name policy));
+      ("trigger", Json.Str (Ppdc_sim.Event_engine.trigger_name trigger));
+      ("mu", fnum mu);
+      ("events", num (Array.length r.Ppdc_sim.Event_engine.records));
+      ("reconfigurations", num r.Ppdc_sim.Event_engine.reconfigurations);
+      ("moves", num r.Ppdc_sim.Event_engine.total_moves);
+      ("comm_cost", fnum r.Ppdc_sim.Event_engine.total_comm);
+      ("migration_cost", fnum r.Ppdc_sim.Event_engine.total_migration);
+      ("total_cost", fnum r.Ppdc_sim.Event_engine.total_cost);
+      ( "final_placement",
+        placement_json r.Ppdc_sim.Event_engine.final_placement );
+      ("cache_hit", Json.Bool hit);
+      ("elapsed_ms", fnum (1000.0 *. Clock.elapsed_s ~since:t0));
+    ]
+
 let stats t _params =
   (* Snapshot the registry under its lock, then render session fields
      without taking the per-session locks: single mutable-field reads
@@ -634,6 +704,7 @@ let dispatch t (req : Protocol.request) =
     | "migrate" -> migrate
     | "rates_update" -> rates_update
     | "fail_links" -> fail_links
+    | "simulate_events" -> simulate_events
     | "stats" -> stats
     | "shutdown" -> shutdown
     | other -> reject Unknown_method "unknown method %S" other

@@ -47,8 +47,10 @@
 
     Methods: [health], [load_topology], [place] (primal_dual / dp /
     optimal / steering / greedy), [migrate] (mpareto / optimal / plan /
-    mcf / none), [rates_update], [fail_links], [stats], [shutdown].
-    See DESIGN.md for the full parameter/result schema. *)
+    mcf / none), [rates_update], [fail_links], [simulate_events]
+    (replay a discrete-event day under a trigger policy, on copies —
+    the session state is untouched), [stats], [shutdown]. See
+    DESIGN.md for the full parameter/result schema. *)
 
 type t
 

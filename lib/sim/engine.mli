@@ -53,6 +53,39 @@ type run = {
   total_migrations : int;
 }
 
+(** {1 Single-step interface}
+
+    The pieces {!Event_engine} reuses so that one policy step means
+    exactly the same thing at hour granularity and between arbitrary
+    events. *)
+
+type state = {
+  mutable placement : Ppdc_core.Placement.t;
+  mutable problem : Ppdc_core.Problem.t;
+      (** flows evolve under the VM policies (PLAN/MCF); the cost
+          matrix evolves under link failure/repair events *)
+}
+
+val step :
+  Scenario.t ->
+  state ->
+  policy:policy ->
+  rates:float array ->
+  next_rates:float array ->
+  float * float * int
+(** Let the policy act once against [rates] (with [next_rates] as the
+    lookahead forecast — ignored by every policy except
+    [Mpareto_lookahead]), mutating [state]. Returns
+    [(comm_cost, migration_cost, moves)]: the communication cost of
+    one epoch at [rates] after the move, the migration traffic, and
+    the move count. Deterministic. *)
+
+val initial_placement_of :
+  Scenario.t -> first_rates:float array -> Ppdc_core.Placement.t
+(** The day-0 placement per the scenario's {!Scenario.initial}:
+    seeded-arbitrary for [Uninformed], Algo. 3 on [first_rates] for
+    [Hour1]. *)
+
 val run_day : Scenario.t -> policy:policy -> run
 (** Simulate one day: choose the day-0 placement per the scenario's
     {!Scenario.initial}, then let the policy act at every hour 1..N.

@@ -44,3 +44,32 @@ val make :
 (** Defaults: the paper's 12-hour diurnal model, [mu = 1e4],
     [mu_vm = mu], no pair limit, 2-million-node optimal budget,
     [Uninformed 0] deployment. *)
+
+(** {1 Event-stream constructors}
+
+    The graph-aware bridges into the discrete-event simulator
+    ({!Event_engine}); the pure-data constructors (traces, Poisson
+    churn, probes) live in {!Ppdc_traffic.Events}. *)
+
+val events_of_diurnal : t -> Ppdc_traffic.Events.t
+(** The scenario's diurnal day as an hourly event stream —
+    [Events.of_diurnal] of its own model and flows. Replaying it with
+    [Periodic 1.0] is bit-identical to {!Engine.run_day}. *)
+
+val failure_episode :
+  rng:Ppdc_prelude.Rng.t ->
+  at:float ->
+  duration:float ->
+  fraction:float ->
+  t ->
+  Ppdc_traffic.Events.t
+(** One failure episode on the scenario's fabric: at time [at], a
+    seeded connectivity-preserving random subset of switch-switch
+    links fails ({!Ppdc_extensions.Failures.fail_links} with
+    [fraction]); at [at + duration] every failed link is repaired at
+    its original weight, in reverse failure order. The stream's
+    horizon is [at + duration] — merge it with a traffic stream
+    ({!Ppdc_traffic.Events.merge}) whose horizon extends further,
+    otherwise the repairs sit exactly at the horizon and are never
+    processed. Raises [Invalid_argument] on a negative/non-finite
+    [at], non-positive [duration], or [fraction] outside [0, 1]. *)

@@ -38,18 +38,22 @@ let compute ?algo graph =
 
 (* --- dynamic repair ------------------------------------------------------ *)
 
-(* A structural delta that repair can localize: the edge list of the
-   new graph is the old one minus [Delete]d edges, with [Increase]d
-   edges carrying a strictly larger weight. Anything else (an added
-   edge, a weight decrease, a node/kind change) can create new shortest
-   paths from sources whose trees never touched the changed edge, so
-   it cannot be localized by tree membership and forces a cold
-   [compute]. *)
-type change = Delete of int * int | Increase of int * int
+(* A structural delta that repair can localize. [Delete]/[Increase]
+   can only lengthen paths, so they affect exactly the sources whose
+   shortest-path trees used the edge. [Relax (u, v, w)] — a weight
+   decrease or a restored/inserted edge of new weight [w] — can only
+   shorten paths *through* the edge, so it affects exactly the sources
+   for which the edge is now competitive at either endpoint (the
+   distance test in [row_affected]). Only a node-count or node-kind
+   change remains non-localizable and forces a cold [compute]. *)
+type change =
+  | Delete of int * int
+  | Increase of int * int
+  | Relax of int * int * float  (* new (decreased or inserted) weight *)
 
 (* Diff two canonically sorted edge arrays (u < v, sorted — the
-   [Graph.edges] contract). [None] when [g'] is not a
-   deletions-and-increases-only derivative of [g]. O(|E|). *)
+   [Graph.edges] contract). [None] only when the node sets/kinds
+   differ; every edge-level delta maps to a [change]. O(|E|). *)
 let diff_changes g g' =
   let kinds_equal =
     Graph.num_nodes g = Graph.num_nodes g'
@@ -64,16 +68,19 @@ let diff_changes g g' =
     let old_edges = Array.of_list (Graph.edges g) in
     let new_edges = Array.of_list (Graph.edges g') in
     let changes = ref [] in
-    let compatible = ref true in
     let i = ref 0 and j = ref 0 in
     let no = Array.length old_edges and nn = Array.length new_edges in
-    while !compatible && (!i < no || !j < nn) do
+    while !i < no || !j < nn do
       if !j >= nn then begin
         let u, v, _ = old_edges.(!i) in
         changes := Delete (u, v) :: !changes;
         incr i
       end
-      else if !i >= no then compatible := false (* edge added *)
+      else if !i >= no then begin
+        let u', v', w' = new_edges.(!j) in
+        changes := Relax (u', v', w') :: !changes;
+        incr j
+      end
       else begin
         let u, v, w = old_edges.(!i) in
         let u', v', w' = new_edges.(!j) in
@@ -84,44 +91,68 @@ let diff_changes g g' =
                 (match Float.compare w' w with
                 | 0 -> ()
                 | c when c > 0 -> changes := Increase (u, v) :: !changes
-                | _ -> compatible := false (* weight decrease *));
+                | _ -> changes := Relax (u, v, w') :: !changes);
                 incr i;
                 incr j
             | c when c < 0 ->
                 changes := Delete (u, v) :: !changes;
                 incr i
-            | _ -> compatible := false (* edge added *))
+            | _ ->
+                changes := Relax (u', v', w') :: !changes;
+                incr j)
         | c when c < 0 ->
             changes := Delete (u, v) :: !changes;
             incr i
-        | _ -> compatible := false (* edge added *)
+        | _ ->
+            changes := Relax (u', v', w') :: !changes;
+            incr j
       end
     done;
-    if !compatible then Some !changes else None
+    Some !changes
   end
 
-(* A source [src] is affected by a change to edge (u, v) exactly when
-   its shortest-path tree uses that edge. Every tree edge appears as
-   exactly one parent link, so the membership test is O(1) per
-   (source, edge): the tree uses (u, v) iff [pred.(v) = u] or
+(* A source [src] is affected by a [Delete]/[Increase] of edge (u, v)
+   exactly when its shortest-path tree uses that edge. Every tree edge
+   appears as exactly one parent link, so the membership test is O(1)
+   per (source, edge): the tree uses (u, v) iff [pred.(v) = u] or
    [pred.(u) = v] in [src]'s row — no scan of the row is needed.
 
-   Why unaffected rows survive byte-identical: if the tree avoids every
-   changed edge, all its paths exist in [g'] at unchanged cost, and a
-   deletion/increase can only lengthen other paths, so [dist] is
-   unchanged; and since both engines freeze the tree as the
-   lowest-numbered-predecessor tree — a pure function of [dist] and the
-   adjacency (see Shortest_paths) — [pred.(x)] is the least neighbour
-   [y] with [dist.(y) + w(y, x) = dist.(x)]. A deleted edge (u, v) with
-   [pred.(v) <> u] either was not such a candidate or was outranked by
-   a smaller one, so removing it moves nothing; an increased weight
+   A [Relax (u, v, w)] (decrease or restored edge) cannot be tested by
+   tree membership — a brand-new edge is in nobody's tree — but it can
+   only shorten paths that cross it, so [src] is affected exactly when
+   the edge is competitive at one endpoint against the *old* distances:
+   [dist(src, u) + w <= dist(src, v)] or symmetrically. Strictly-less
+   would miss the equality case, where distances stay put but the new
+   edge becomes an equal-cost parent candidate and can displace the
+   canonical (lowest-numbered-predecessor) tree's choice at [u] or
+   [v] — hence [<=], which re-runs exactly those rows too.
+
+   Why unaffected rows survive byte-identical, even under a mixed
+   change set: if a row fails every test above, its old tree avoids
+   every deleted/increased edge, so all its paths survive in [g'] at
+   unchanged cost; and any allegedly shorter new path must cross some
+   relaxed edge (u, v, w) — say first at (u → v) — which costs at least
+   [dist(u) + w > dist(v)] by the failed test (old distances are lower
+   bounds for prefixes of any path, by induction on the number of
+   changed-edge traversals), so it shortens nothing. Distances
+   unchanged, and since both engines freeze the tree as the
+   lowest-numbered-predecessor tree — a pure function of [dist] and
+   the adjacency (see Shortest_paths) — [pred.(x)] is the least
+   neighbour [y] with [dist.(y) + w(y, x) = dist.(x)]: a deleted edge
+   with [pred.(v) <> u] was not the ranking candidate, an increase
    only pushes a non-candidate further from candidacy (Dijkstra's
-   invariant gives [dist.(u) + w >= dist.(v)] beforehand). *)
+   invariant gives [dist.(u) + w >= dist.(v)] beforehand), and a
+   relaxed edge that failed the [<=] test is strictly
+   non-competitive. *)
 let row_affected t ~base changes =
   List.exists
     (fun c ->
-      let u, v = match c with Delete (u, v) | Increase (u, v) -> (u, v) in
-      t.pred.{base + v} = u || t.pred.{base + u} = v)
+      match c with
+      | Delete (u, v) | Increase (u, v) ->
+          t.pred.{base + v} = u || t.pred.{base + u} = v
+      | Relax (u, v, w) ->
+          t.dist.{base + u} +. w <= t.dist.{base + v}
+          || t.dist.{base + v} +. w <= t.dist.{base + u})
     changes
 
 let repair_rows ?algo t g' changes =
@@ -191,8 +222,8 @@ let increase_weight ?algo t ~u ~v ~weight =
   | None -> invalid_arg "Cost_matrix.increase_weight: no such edge"
   | Some w when Float.compare weight w < 0 ->
       invalid_arg
-        "Cost_matrix.increase_weight: new weight is smaller (a decrease \
-         cannot be localized; recompute instead)"
+        "Cost_matrix.increase_weight: new weight is smaller (use \
+         decrease_weight)"
   | Some w ->
       let g' =
         Graph.map_weights t.graph (fun a b wab ->
@@ -200,6 +231,37 @@ let increase_weight ?algo t ~u ~v ~weight =
       in
       if Float.compare weight w = 0 then { t with graph = g' }
       else fst (repair_rows ?algo t g' [ Increase (min u v, max u v) ])
+
+let decrease_weight ?algo t ~u ~v ~weight =
+  if not (Float.is_finite weight) || weight <= 0.0 then
+    invalid_arg "Cost_matrix.decrease_weight: weight must be finite positive";
+  match Graph.edge_weight t.graph u v with
+  | None -> invalid_arg "Cost_matrix.decrease_weight: no such edge"
+  | Some w when Float.compare weight w > 0 ->
+      invalid_arg
+        "Cost_matrix.decrease_weight: new weight is larger (use \
+         increase_weight)"
+  | Some w ->
+      let g' =
+        Graph.map_weights t.graph (fun a b wab ->
+            if (a = u && b = v) || (a = v && b = u) then weight else wab)
+      in
+      if Float.compare weight w = 0 then { t with graph = g' }
+      else fst (repair_rows ?algo t g' [ Relax (min u v, max u v, weight) ])
+
+let restore_edge ?algo t ~u ~v ~weight =
+  if not (Float.is_finite weight) || weight <= 0.0 then
+    invalid_arg "Cost_matrix.restore_edge: weight must be finite positive";
+  (match Graph.edge_weight t.graph u v with
+  | Some _ -> invalid_arg "Cost_matrix.restore_edge: edge already present"
+  | None -> ());
+  let g' =
+    (* [Graph.make] re-validates (self-loop, range, host-host). *)
+    Graph.make
+      ~kinds:(Array.init (Graph.num_nodes t.graph) (Graph.kind t.graph))
+      ~edges:((min u v, max u v, weight) :: Graph.edges t.graph)
+  in
+  fst (repair_rows ?algo t g' [ Relax (min u v, max u v, weight) ])
 
 let graph t = t.graph
 

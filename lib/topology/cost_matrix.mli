@@ -22,34 +22,39 @@ val graph : t -> Graph.t
 
 (** {1 Dynamic repair}
 
-    A dynamic fabric mostly changes by link failures and weight drifts
-    upward — exactly the deltas whose effect on all-pairs shortest
-    paths can be localized. A source [s] is affected by a change to
-    edge [(u, v)] iff [s]'s shortest-path tree uses that edge, and
-    because every tree edge appears as exactly one parent link, that
-    test is O(1) per (source, edge) on the predecessor row:
-    [pred(v) = u] or [pred(u) = v]. Repair copies the two flat
-    matrices once (the parent stays valid — it may still be cached
-    under its own digest) and re-runs Dijkstra only for affected rows;
-    unaffected rows are byte-identical to the parent's, and the whole
-    result is bit-identical to a cold {!compute} on the new graph
-    (differentially tested in [test/test_dynamic.ml]).
+    A dynamic fabric changes by link failures, weight drifts, and link
+    repairs — all deltas whose effect on all-pairs shortest paths can
+    be localized per source. A source [s] is affected by a {e deletion
+    or increase} of edge [(u, v)] iff [s]'s shortest-path tree uses
+    that edge, and because every tree edge appears as exactly one
+    parent link, that test is O(1) per (source, edge) on the
+    predecessor row: [pred(v) = u] or [pred(u) = v]. A {e decrease or
+    restored edge} of new weight [w] is in nobody's tree, but it can
+    only shorten paths that cross it, so [s] is affected iff the edge
+    is competitive against the old distances at either endpoint:
+    [dist(s, u) + w <= dist(s, v)] or symmetrically (the [<=] also
+    catches equal-cost candidates that would displace the canonical
+    predecessor choice). Repair copies the two flat matrices once (the
+    parent stays valid — it may still be cached under its own digest)
+    and re-runs Dijkstra only for affected rows; unaffected rows are
+    byte-identical to the parent's, and the whole result is
+    bit-identical to a cold {!compute} on the new graph (differentially
+    tested in [test/test_dynamic.ml]).
 
-    Edge additions and weight decreases can create new shortest paths
-    for sources whose trees never touched the edge, so they cannot be
-    localized this way: {!repair_to} refuses them and the caller falls
-    back to {!compute} (see EXTENDING.md). *)
+    Only a node-count or node-kind change is non-localizable:
+    {!repair_to} refuses it and the caller falls back to {!compute}
+    (see EXTENDING.md). *)
 
 val repair_to : ?algo:Shortest_paths.algo -> t -> Graph.t -> (t * int) option
 (** [repair_to t g'] derives the all-pairs matrix of [g'] from [t]
-    when [g'] differs from [graph t] only by deleted edges and
-    increased edge weights (same node count and kinds). Returns the
-    repaired matrix and the number of rows that were re-run
-    ([Some (t', 0)] with shared matrix storage when the edge lists are
-    identical); [None] when the delta is not localizable — an added
-    edge, a decreased weight, or a node/kind mismatch — in which case
-    the caller should run a cold {!compute}. Raises [Invalid_argument]
-    if a deletion disconnected [g'] (as {!compute} would). *)
+    when [g'] has the same node count and kinds as [graph t]; any mix
+    of deleted, added, and reweighted edges is localized per the tests
+    above. Returns the repaired matrix and the number of rows that
+    were re-run ([Some (t', 0)] with shared matrix storage when the
+    edge lists are identical); [None] on a node/kind mismatch, in
+    which case the caller should run a cold {!compute}. Raises
+    [Invalid_argument] if [g'] is disconnected (as {!compute}
+    would). *)
 
 val delete_edge : ?algo:Shortest_paths.algo -> t -> u:int -> v:int -> t
 (** [delete_edge t ~u ~v] is the matrix of [graph t] minus the edge
@@ -61,8 +66,25 @@ val increase_weight : ?algo:Shortest_paths.algo -> t -> u:int -> v:int -> weight
 (** [increase_weight t ~u ~v ~weight] is the matrix of [graph t] with
     edge [(u, v)] reweighted to [weight >=] its current weight.
     Raises [Invalid_argument] if the edge does not exist or [weight]
-    is smaller than the current weight (a decrease cannot be
-    localized — use {!compute}). *)
+    is smaller than the current weight (use {!decrease_weight}). *)
+
+val decrease_weight : ?algo:Shortest_paths.algo -> t -> u:int -> v:int -> weight:float -> t
+(** [decrease_weight t ~u ~v ~weight] is the matrix of [graph t] with
+    edge [(u, v)] reweighted to [weight <=] its current weight,
+    repairing only the rows where the cheaper edge is competitive.
+    Raises [Invalid_argument] if the edge does not exist, [weight] is
+    not finite positive, or [weight] exceeds the current weight (use
+    {!increase_weight}). *)
+
+val restore_edge : ?algo:Shortest_paths.algo -> t -> u:int -> v:int -> weight:float -> t
+(** [restore_edge t ~u ~v ~weight] is the matrix of [graph t] plus the
+    edge [(u, v)] at [weight] — the inverse of {!delete_edge}, used
+    when a failed link comes back. Only rows where the restored edge
+    is competitive are re-run; restoring a just-deleted edge at its
+    old weight yields a matrix bit-identical to the pre-deletion one.
+    Raises [Invalid_argument] if the edge already exists, [weight] is
+    not finite positive, or the edge is invalid for the graph (self
+    loop, host-host, out of range). *)
 
 val cost : t -> int -> int -> float
 (** [cost t u v] is [c(u, v)]; 0 when [u = v]. *)

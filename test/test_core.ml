@@ -146,6 +146,31 @@ let test_dp_stroll_never_beats_exact () =
       (dp.cost <= (2.0 *. exact.cost) +. 1e-9)
   done
 
+let test_closed_stroll_src_eq_dst () =
+  (* Regression: when src = dst the optimal 1-stroll is the immediate
+     out-and-back dst -> u -> dst. The DP's no-backtrack rule used to
+     ban exactly that walk (every level-1 successor is dst), forcing a
+     3-edge detour that broke the 2x bound. On a unit-weight fat-tree
+     the closed 1-stroll from a host is host -> edge switch -> host,
+     cost 2. *)
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let h = ft.hosts.(5) in
+  let dp = Stroll_dp.solve ~cm ~src:h ~dst:h ~n:1 () in
+  check_float "closed 1-stroll is out-and-back" 2.0 dp.cost;
+  Alcotest.(check int) "two edges" 2 dp.edges;
+  let exact = Stroll_exact.solve ~cm ~src:h ~dst:h ~n:1 () in
+  check_float "exact agrees" 2.0 exact.cost;
+  for n = 1 to 4 do
+    let dp = Stroll_dp.solve ~cm ~src:h ~dst:h ~n () in
+    let exact = Stroll_exact.solve ~cm ~src:h ~dst:h ~n () in
+    Alcotest.(check bool)
+      (Printf.sprintf "closed stroll within 2x at n=%d" n)
+      true
+      ((not exact.proven_optimal)
+      || dp.cost <= (2.0 *. exact.cost) +. 1e-9)
+  done
+
 let test_stroll_switches_distinct () =
   let problem, ft = k4_problem ~l:4 ~n:5 ~seed:7 in
   ignore problem;
@@ -442,6 +467,8 @@ let () =
             test_seven_stroll_on_fat_tree;
           Alcotest.test_case "DP bounded by exact and 2x exact" `Quick
             test_dp_stroll_never_beats_exact;
+          Alcotest.test_case "closed stroll (src = dst) is out-and-back"
+            `Quick test_closed_stroll_src_eq_dst;
           Alcotest.test_case "stroll switches are distinct" `Quick
             test_stroll_switches_distinct;
         ] );

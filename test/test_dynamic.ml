@@ -1,13 +1,14 @@
 (* Differential suite for dynamic APSP repair (Cost_matrix.repair_to /
-   delete_edge / increase_weight).
+   delete_edge / increase_weight / decrease_weight / restore_edge).
 
    The oracle is the full recompute: after any sequence of edge
-   deletions and weight increases, the repaired matrix must be
-   bit-identical — dist by IEEE bit pattern, pred exactly — to a cold
-   [Cost_matrix.compute] on the current graph, for both engines. The
-   repair's whole claim is that rows whose shortest-path trees avoided
-   the touched edges need no work; these tests are what keeps that
-   claim honest. *)
+   deletions, weight increases, decreases, and edge restores, the
+   repaired matrix must be bit-identical — dist by IEEE bit pattern,
+   pred exactly — to a cold [Cost_matrix.compute] on the current
+   graph, for both engines. The repair's whole claim is that
+   unaffected rows need no work — trees that avoided a
+   deleted/increased edge, sources for which a relaxed edge is not
+   competitive; these tests are what keeps that claim honest. *)
 
 module Graph = Ppdc_topology.Graph
 module Shortest_paths = Ppdc_topology.Shortest_paths
@@ -76,11 +77,12 @@ let random_graph seed =
 
 (* --- the qcheck differential property ---------------------------------- *)
 
-(* Random graph, then a random sequence of deletions and weight
-   increases; at every step the repaired matrix must be bit-equal to a
-   cold compute on the mutated graph. Deletions that would disconnect
-   the graph are skipped (repair would — correctly — raise, as compute
-   does; that contract has its own test below). *)
+(* Random graph, then a random sequence of deletions, weight
+   increases, weight decreases, and delete-then-restore pairs; at
+   every step the repaired matrix must be bit-equal to a cold compute
+   on the mutated graph. Deletions that would disconnect the graph are
+   skipped (repair would — correctly — raise, as compute does; that
+   contract has its own test below). *)
 let prop_repair_matches_cold_compute =
   QCheck.Test.make ~name:"repaired matrix = cold compute (bit-exact)"
     ~count:40
@@ -91,25 +93,93 @@ let prop_repair_matches_cold_compute =
       let cm = ref (Cost_matrix.compute !g) in
       let steps = 2 + Rng.int rng 4 in
       let ok = ref true in
+      let apply next =
+        g := Cost_matrix.graph next;
+        cm := next;
+        if not (matrices_bit_equal !cm (Cost_matrix.compute !g)) then
+          ok := false
+      in
       for _ = 1 to steps do
         let edges = Array.of_list (Graph.edges !g) in
         let u, v, w = edges.(Rng.int rng (Array.length edges)) in
-        let delete = Rng.int rng 2 = 0 in
-        if delete && connected_without_edge !g (u, v) then begin
-          let next = Cost_matrix.delete_edge !cm ~u ~v in
-          g := Cost_matrix.graph next;
-          cm := next
-        end
-        else begin
-          let weight = w *. (1.0 +. Rng.uniform rng ~lo:0.1 ~hi:1.5) in
-          let next = Cost_matrix.increase_weight !cm ~u ~v ~weight in
-          g := Cost_matrix.graph next;
-          cm := next
-        end;
-        if not (matrices_bit_equal !cm (Cost_matrix.compute !g)) then
-          ok := false
+        match Rng.int rng 4 with
+        | 0 when connected_without_edge !g (u, v) ->
+            apply (Cost_matrix.delete_edge !cm ~u ~v)
+        | 1 ->
+            let weight = w *. (1.0 +. Rng.uniform rng ~lo:0.1 ~hi:1.5) in
+            apply (Cost_matrix.increase_weight !cm ~u ~v ~weight)
+        | 2 ->
+            let weight = w *. Rng.uniform rng ~lo:0.2 ~hi:0.9 in
+            apply (Cost_matrix.decrease_weight !cm ~u ~v ~weight)
+        | _ when connected_without_edge !g (u, v) ->
+            (* Fail the link, then bring it back at a (possibly new)
+               weight: the Link_failure/Link_repair path the event
+               simulator drives. *)
+            apply (Cost_matrix.delete_edge !cm ~u ~v);
+            let weight =
+              if Rng.int rng 2 = 0 then w
+              else w *. Rng.uniform rng ~lo:0.5 ~hi:2.0
+            in
+            apply (Cost_matrix.restore_edge !cm ~u ~v ~weight)
+        | _ -> ()
       done;
       !ok)
+
+(* Mixed deltas through the one-shot [repair_to] entry point: diff a
+   graph against a derivative with simultaneous deletions, increases,
+   decreases, and an added edge. *)
+let prop_repair_to_mixed_deltas =
+  QCheck.Test.make ~name:"repair_to localizes mixed deltas (bit-exact)"
+    ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 4241) in
+      let g = random_graph seed in
+      let cm = Cost_matrix.compute g in
+      (* Mutate the edge list wholesale: reweight ~a third of the edges
+         in either direction, drop one droppable edge, and add a
+         switch-switch edge where none exists. *)
+      let edges = Graph.edges g in
+      let reweighted =
+        List.map
+          (fun (u, v, w) ->
+            match Rng.int rng 3 with
+            | 0 -> (u, v, w *. Rng.uniform rng ~lo:0.3 ~hi:0.95)
+            | 1 -> (u, v, w *. Rng.uniform rng ~lo:1.05 ~hi:2.0)
+            | _ -> (u, v, w))
+          edges
+      in
+      let dropped =
+        match
+          List.find_opt (fun (u, v, _) -> connected_without_edge g (u, v)) edges
+        with
+        | Some (u, v, _) ->
+            List.filter (fun (a, b, _) -> not (a = u && b = v)) reweighted
+        | None -> reweighted
+      in
+      let sw = Graph.switches g in
+      let extra =
+        let pair = ref None in
+        Array.iter
+          (fun a ->
+            Array.iter
+              (fun b ->
+                if !pair = None && a < b && Graph.edge_weight g a b = None then
+                  pair := Some (a, b))
+              sw)
+          sw;
+        !pair
+      in
+      let final_edges =
+        match extra with
+        | Some (a, b) -> (a, b, Rng.uniform rng ~lo:0.5 ~hi:2.0) :: dropped
+        | None -> dropped
+      in
+      let g' = Graph.make ~kinds:(kinds_of g) ~edges:final_edges in
+      match Cost_matrix.repair_to cm g' with
+      | None -> QCheck.Test.fail_report "repair_to refused an edge-level delta"
+      | Some (repaired, _) ->
+          matrices_bit_equal repaired (Cost_matrix.compute g'))
 
 (* Same property through the [repair_to] entry point (the server's
    path): degrade with Failures.fail_links — several links at once —
@@ -196,7 +266,10 @@ let test_repair_shares_storage_when_identical () =
   | Some (_, rows) -> Alcotest.failf "identical graph re-ran %d rows" rows
   | None -> Alcotest.fail "identical graph judged incompatible"
 
-let test_repair_refuses_nonlocal_deltas () =
+let test_repair_handles_relaxing_deltas () =
+  (* Edge additions and weight decreases used to be refused (ROADMAP
+     item 1); they are now repaired in place via the Relax
+     localization. Only a structurally different fabric is refused. *)
   let ft = Fat_tree.build 4 in
   let g = ft.graph in
   let cm = Cost_matrix.compute g in
@@ -219,8 +292,11 @@ let test_repair_refuses_nonlocal_deltas () =
   let added =
     Graph.make ~kinds ~edges:((fst extra, snd extra, 1.0) :: edges)
   in
-  Alcotest.(check bool) "edge addition refused" true
-    (Cost_matrix.repair_to cm added = None);
+  (match Cost_matrix.repair_to cm added with
+  | None -> Alcotest.fail "edge addition refused"
+  | Some (repaired, _) ->
+      Alcotest.(check bool) "edge addition repaired bit-exactly" true
+        (matrices_bit_equal repaired (Cost_matrix.compute added)));
   (* A weight decrease. *)
   let u0, v0, w0 = List.hd edges in
   let decreased =
@@ -229,12 +305,79 @@ let test_repair_refuses_nonlocal_deltas () =
         ((u0, v0, w0 /. 2.0)
         :: List.filter (fun (a, b, _) -> not (a = u0 && b = v0)) edges)
   in
-  Alcotest.(check bool) "weight decrease refused" true
-    (Cost_matrix.repair_to cm decreased = None);
-  (* A different fabric entirely. *)
+  (match Cost_matrix.repair_to cm decreased with
+  | None -> Alcotest.fail "weight decrease refused"
+  | Some (repaired, _) ->
+      Alcotest.(check bool) "weight decrease repaired bit-exactly" true
+        (matrices_bit_equal repaired (Cost_matrix.compute decreased)));
+  (* A different fabric entirely is still refused. *)
   let other = Fat_tree.build 2 in
   Alcotest.(check bool) "node-count mismatch refused" true
     (Cost_matrix.repair_to cm other.graph = None)
+
+let test_decrease_weight_contracts () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let u, v, w = List.hd (Graph.edges ft.graph) in
+  (try
+     ignore (Cost_matrix.decrease_weight cm ~u ~v ~weight:(w *. 2.0));
+     Alcotest.fail "increase not rejected"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Cost_matrix.decrease_weight cm ~u ~v ~weight:0.0);
+     Alcotest.fail "zero weight not rejected"
+   with Invalid_argument _ -> ());
+  Alcotest.check_raises "missing edge"
+    (Invalid_argument "Cost_matrix.decrease_weight: no such edge") (fun () ->
+      ignore (Cost_matrix.decrease_weight cm ~u:0 ~v:1 ~weight:0.5));
+  (* Equal weight: nothing to repair, storage shared. *)
+  let same = Cost_matrix.decrease_weight cm ~u ~v ~weight:w in
+  Alcotest.(check bool) "equal weight shares storage" true
+    (Cost_matrix.costs same == Cost_matrix.costs cm);
+  (* Order of endpoints must not matter. *)
+  let a = Cost_matrix.decrease_weight cm ~u ~v ~weight:(w /. 2.0) in
+  let b = Cost_matrix.decrease_weight cm ~u:v ~v:u ~weight:(w /. 2.0) in
+  Alcotest.(check bool) "endpoint order irrelevant" true
+    (matrices_bit_equal a b);
+  Alcotest.(check bool) "bit-equal to cold compute" true
+    (matrices_bit_equal a (Cost_matrix.compute (Cost_matrix.graph a)))
+
+let test_restore_edge_contracts () =
+  let ft = Fat_tree.build 4 in
+  let cm = Cost_matrix.compute ft.graph in
+  let u, v, w = List.hd (Graph.edges ft.graph) in
+  (* Restoring a present edge is an error — that is decrease/increase
+     territory. *)
+  Alcotest.check_raises "edge already present"
+    (Invalid_argument "Cost_matrix.restore_edge: edge already present")
+    (fun () -> ignore (Cost_matrix.restore_edge cm ~u ~v ~weight:w));
+  (try
+     ignore (Cost_matrix.restore_edge cm ~u:0 ~v:1 ~weight:Float.nan);
+     Alcotest.fail "NaN weight not rejected"
+   with Invalid_argument _ -> ());
+  (* Delete then restore at the original weight: bit-identical to the
+     matrix we started from (the repair truly undoes the failure). *)
+  let deleted = Cost_matrix.delete_edge cm ~u ~v in
+  let restored = Cost_matrix.restore_edge deleted ~u ~v ~weight:w in
+  Alcotest.(check bool) "delete;restore round-trips bit-exactly" true
+    (matrices_bit_equal restored cm);
+  (* And the repair is local: restoring the link at a weight longer
+     than any distance gap makes it competitive for no source at all —
+     the endpoint-distance test must skip every row. (At the original
+     unit weight nearly every source sees an equal-cost candidate, so
+     a unit fat-tree is the wrong fabric for a row-count bound.) *)
+  let relaxed =
+    Graph.make
+      ~kinds:(kinds_of (Cost_matrix.graph deleted))
+      ~edges:
+        ((min u v, max u v, 64.0) :: Graph.edges (Cost_matrix.graph deleted))
+  in
+  match Cost_matrix.repair_to deleted relaxed with
+  | None -> Alcotest.fail "long restore refused"
+  | Some (long, rows) ->
+      Alcotest.(check int) "irrelevant restore re-runs no rows" 0 rows;
+      Alcotest.(check bool) "bit-equal to cold compute" true
+        (matrices_bit_equal long (Cost_matrix.compute relaxed))
 
 let test_delete_edge_contracts () =
   let ft = Fat_tree.build 4 in
@@ -319,6 +462,7 @@ let () =
       qsuite "differential"
         [
           prop_repair_matches_cold_compute;
+          prop_repair_to_mixed_deltas;
           prop_repair_to_matches_fail_links;
           prop_repair_engine_parity;
         ];
@@ -328,12 +472,16 @@ let () =
             test_fat_tree_single_link_locality;
           Alcotest.test_case "identical graph shares storage" `Quick
             test_repair_shares_storage_when_identical;
-          Alcotest.test_case "non-local deltas refused" `Quick
-            test_repair_refuses_nonlocal_deltas;
+          Alcotest.test_case "relaxing deltas repaired" `Quick
+            test_repair_handles_relaxing_deltas;
           Alcotest.test_case "delete_edge contracts" `Quick
             test_delete_edge_contracts;
           Alcotest.test_case "increase_weight contracts" `Quick
             test_increase_weight_contracts;
+          Alcotest.test_case "decrease_weight contracts" `Quick
+            test_decrease_weight_contracts;
+          Alcotest.test_case "restore_edge contracts" `Quick
+            test_restore_edge_contracts;
           Alcotest.test_case "parent matrix untouched" `Quick
             test_parent_matrix_untouched;
           Alcotest.test_case "domain-count independence" `Quick

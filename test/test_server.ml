@@ -140,6 +140,38 @@ let test_engine_migrate_flow () =
   Alcotest.(check bool) "migrate reuses cached matrix" true
     (bool_field m "cache_hit")
 
+let test_engine_simulate_events () =
+  let e = eng () in
+  ignore (load e ());
+  let r =
+    expect_ok
+      (Engine.handle_line e
+         {|{"id":1,"method":"simulate_events","params":{"session":"s","mu":1e4,"trigger":"threshold:1.2","probe_every":0.5}}|})
+  in
+  Alcotest.(check string) "trigger echoed" "threshold" (str_field r "trigger");
+  Alcotest.(check string) "default policy" "mPareto" (str_field r "policy");
+  let numf key =
+    match Json.member key r with
+    | Some (Json.Num x) -> x
+    | _ -> Alcotest.failf "expected numeric field %s" key
+  in
+  Alcotest.(check bool) "events processed" true (numf "events" > 0.0);
+  Alcotest.(check bool) "total = comm + migration" true
+    (Float.compare (numf "total_cost")
+       (numf "comm_cost" +. numf "migration_cost")
+    = 0);
+  (* The replay runs on copies: the session still has no placement, so
+     a migrate must still be refused. *)
+  Alcotest.(check string) "session placement untouched" "invalid_params"
+    (expect_error
+       (Engine.handle_line e
+          {|{"id":2,"method":"migrate","params":{"session":"s"}}|}));
+  (* Bad trigger grammar is a structured refusal. *)
+  Alcotest.(check string) "bad trigger" "invalid_params"
+    (expect_error
+       (Engine.handle_line e
+          {|{"id":3,"method":"simulate_events","params":{"session":"s","trigger":"sometimes"}}|}))
+
 let test_engine_fail_links_changes_digest () =
   let e = eng () in
   let loaded = load e ~k:4 () in
@@ -548,6 +580,8 @@ let () =
           Alcotest.test_case "repeated place hits the matrix cache" `Quick
             test_engine_place_uses_cache;
           Alcotest.test_case "migrate lifecycle" `Quick test_engine_migrate_flow;
+          Alcotest.test_case "simulate_events runs on copies" `Quick
+            test_engine_simulate_events;
           Alcotest.test_case "fail_links rekeys the cache" `Quick
             test_engine_fail_links_changes_digest;
           Alcotest.test_case "fail_links repairs a warm cache" `Quick
