@@ -37,17 +37,22 @@ bench:
 # the one that recorded the baseline; the dynamic bench additionally
 # enforces its in-run repair-vs-rebuild speedup floor, and the events
 # bench (deterministic costs, not times) its mu trade-off and trigger
-# dominance invariants. Tolerance: PPDC_BENCH_TOLERANCE (default 0.10).
+# dominance invariants. The serve bench gates the loadgen request and
+# error counts, asserts a clean end-to-end daemon run, and — on hosts
+# with ≥2 cores — a ≥2x sharded-over-single-lock registry throughput
+# floor. Tolerance: PPDC_BENCH_TOLERANCE (default 0.10).
 bench-check: build
 	dune exec bench/flatgraph.exe -- --check BENCH_flatgraph.json
 	dune exec bench/dynamic.exe -- --check BENCH_dynamic.json
 	dune exec bench/events.exe -- --check BENCH_events.json
+	dune exec bench/serve.exe -- --check BENCH_serve.json
 
 # Re-record the committed baselines (run on a quiet machine).
 bench-baseline: build
 	dune exec bench/flatgraph.exe -- --out BENCH_flatgraph.json
 	dune exec bench/dynamic.exe -- --out BENCH_dynamic.json
 	dune exec bench/events.exe -- --out BENCH_events.json
+	dune exec bench/serve.exe -- --out BENCH_serve.json
 
 clean:
 	dune clean

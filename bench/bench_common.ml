@@ -144,7 +144,8 @@ let read_file path =
    invariants ([post] — e.g. the dynamic bench's repair-vs-rebuild
    speedup floor, which is a ratio within one run and therefore
    machine-independent). *)
-let main ~bench ~reference ?(post = fun ~quick:_ _ -> ()) run =
+let main ~bench ~reference ?(baseline_filter = fun e -> e)
+    ?(post = fun ~quick:_ _ -> ()) run =
   let out = ref None
   and check_path = ref None
   and quick = ref (Sys.getenv_opt "PPDC_BENCH_MODE" = Some "quick")
@@ -186,10 +187,19 @@ let main ~bench ~reference ?(post = fun ~quick:_ _ -> ()) run =
   let recorder = { entries = [] } in
   run ~quick:!quick recorder;
   let entries = List.rev recorder.entries in
+  (* [baseline_filter] selects which entries land in the committed
+     artifact: a bench whose run includes machine-class-dependent
+     measurements (e.g. a cross-domain contention ratio, which flips
+     with the host's core count) keeps them out of the baseline so the
+     normalized gate only ever compares class-stable entries — the
+     `check` loop walks the baseline, so run-only entries are never
+     judged. *)
   (match !out with
   | Some path ->
       let oc = open_out path in
-      output_string oc (Json.to_string (to_json ~quick:!quick ~reference entries));
+      output_string oc
+        (Json.to_string
+           (to_json ~quick:!quick ~reference (baseline_filter entries)));
       output_char oc '\n';
       close_out oc
   | None -> ());

@@ -680,10 +680,14 @@ let max_line_arg =
 
 let serve_cmd =
   let run j socket stdio cache_capacity max_line max_pending request_timeout
+      shards session_budget tenant_sessions tenant_bytes tenant_inflight
       metrics =
     apply_domains j;
     with_metrics metrics @@ fun () ->
-    let engine = Ppdc_server.Engine.create ~cache_capacity () in
+    let engine =
+      Ppdc_server.Engine.create ~cache_capacity ?shards ?session_budget
+        ?tenant_sessions ?tenant_bytes ?tenant_inflight ()
+    in
     match (stdio, socket) with
     | true, _ -> Ppdc_server.Transport.serve_stdio ~max_line engine
     | false, Some path ->
@@ -740,15 +744,61 @@ let serve_cmd =
       & opt (some float) None
       & info [ "request-timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Session-registry shard count (rounded up to a power of two; \
+       default: the $(b,-j) domain count). More shards means less lock \
+       contention between unrelated sessions."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let session_budget_arg =
+    let doc =
+      "Global cap on live sessions; exceeding it evicts the \
+       least-recently-used session (the evicted client's next request \
+       is answered $(i,session_evicted))."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "session-budget" ] ~docv:"N" ~doc)
+  in
+  let tenant_sessions_arg =
+    let doc =
+      "Per-tenant cap on live sessions (tenant = session-name prefix \
+       before the first '-'); enforced by LRU eviction within the \
+       tenant."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "tenant-sessions" ] ~docv:"N" ~doc)
+  in
+  let tenant_bytes_arg =
+    let doc =
+      "Per-tenant budget on estimated resident session bytes; enforced \
+       by LRU eviction within the tenant."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "tenant-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let tenant_inflight_arg =
+    let doc =
+      "Per-tenant cap on concurrently executing requests; a tenant at \
+       its cap is answered $(i,overloaded) instead of queueing further \
+       work, so one noisy tenant cannot monopolize the worker pool."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "tenant-inflight" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Run the long-lived placement/migration daemon (ppdc.rpc/1 over \
      NDJSON). Connections are served concurrently by a pool of $(b,-j) \
-     worker domains with a bounded pending queue."
+     worker domains with a bounded pending queue; sessions live in a \
+     sharded registry with optional global and per-tenant budgets."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ domains_arg $ socket_arg $ stdio_arg $ cache_arg
-      $ max_line_arg $ max_pending_arg $ request_timeout_arg $ metrics_arg)
+      $ max_line_arg $ max_pending_arg $ request_timeout_arg $ shards_arg
+      $ session_budget_arg $ tenant_sessions_arg $ tenant_bytes_arg
+      $ tenant_inflight_arg $ metrics_arg)
 
 let rpc_cmd =
   let run socket timeout requests =
@@ -809,6 +859,87 @@ let rpc_cmd =
   Cmd.v (Cmd.info "rpc" ~doc)
     Term.(const run $ socket_arg $ timeout_arg $ requests_arg)
 
+let loadgen_cmd =
+  let run socket rate requests tenants sessions connections seed k l n timeout
+      out =
+    let cfg =
+      {
+        Ppdc_server.Loadgen.path = socket;
+        rate;
+        requests;
+        tenants;
+        sessions;
+        connections;
+        seed;
+        k;
+        l;
+        n;
+        timeout;
+      }
+    in
+    let o = Ppdc_server.Loadgen.run cfg in
+    Format.eprintf "%a@." Ppdc_server.Loadgen.pp_outcome o;
+    let doc = Ppdc_server.Loadgen.outcome_to_bench_json o in
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "ppdc loadgen: wrote %s\n%!" path);
+    print_endline (Json.to_string doc);
+    (* Protocol-level failures (parse errors, handler exceptions,
+       responses lost to the timeout) fail the run; structured
+       evicted/overloaded/deadline answers are expected under tiny
+       budgets and do not. *)
+    if o.other_errors > 0 || o.completed < o.sent then exit 1
+  in
+  let socket_arg =
+    let doc = "Socket path of the running $(b,ppdc serve) daemon." in
+    Arg.(
+      required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let rate_arg =
+    let doc = "Open-loop Poisson arrival rate, requests per second." in
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let requests_arg =
+    let doc = "Total requests to send." in
+    Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of tenants (sessions are named t<i>-s<j>)." in
+    Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let sessions_arg =
+    let doc = "Sessions per tenant." in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let connections_arg =
+    let doc = "Pipelined daemon connections per tenant." in
+    Arg.(value & opt int 2 & info [ "connections" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Wall-clock cap on the whole run, in seconds." in
+    Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the ppdc.bench/1 JSON document to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Drive a running daemon with an open-loop Poisson workload (mixed \
+     load_topology/place/migrate/rates_update over N tenants × M \
+     sessions) and report throughput and p50/p95/p99 latency as a \
+     ppdc.bench/1 JSON document."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ socket_arg $ rate_arg $ requests_arg $ tenants_arg
+      $ sessions_arg $ connections_arg $ seed_arg $ k_arg $ l_arg $ n_arg
+      $ timeout_arg $ out_arg)
+
 let () =
   let doc = "traffic-optimal VNF placement and migration in dynamic PPDCs" in
   let info = Cmd.info "ppdc" ~version:"1.0.0" ~doc in
@@ -818,5 +949,5 @@ let () =
           [
             topology_cmd; place_cmd; migrate_cmd; simulate_cmd; trace_cmd;
             ilp_cmd; experiment_cmd; metrics_summary_cmd; list_cmd;
-            serve_cmd; rpc_cmd;
+            serve_cmd; rpc_cmd; loadgen_cmd;
           ]))

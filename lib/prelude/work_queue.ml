@@ -1,23 +1,45 @@
-(* Bounded multi-producer/multi-worker job queue on domains.
+(* Bounded multi-producer/multi-worker job queue on domains, with
+   optional per-tenant fairness lanes.
 
-   One mutex guards all state; [work] wakes workers when a job arrives
-   or shutdown begins, [idle] wakes shutdown waiters when the last job
-   finishes. Workers drain the pending queue even after [shutdown] —
-   accepted jobs always run. *)
+   One mutex guards all state; [work] wakes workers when a job arrives,
+   a job completes (a tenant at its active cap may have become
+   dispatchable) or shutdown begins; [idle] wakes shutdown waiters when
+   the last job finishes. Workers drain the pending queues even after
+   [shutdown] — accepted jobs always run.
+
+   Jobs are grouped into per-tenant buckets and dispatched by
+   deficit-round-robin over the bucket rotation. Every job has unit
+   cost and every visit grants a unit quantum, so the deficit
+   bookkeeping degenerates and DRR reduces to exact per-tenant
+   round-robin: each rotation pass dispatches at most one job per
+   tenant, which is the fairness the caps need without weighting. Jobs
+   pushed without a tenant share the "" bucket, so an untenanted queue
+   is plain FIFO — bit-for-bit the pre-fairness behavior. *)
 
 type push_result = Accepted | Overloaded | Stopped
 
+type 'a bucket = {
+  jobs : 'a Queue.t;
+  mutable b_active : int;  (* this tenant's jobs currently executing *)
+  mutable queued : bool;  (* bucket present in [rotation] *)
+}
+
 type 'a t = {
   run : 'a -> unit;
-  pending : 'a Queue.t;
+  buckets : (string, 'a bucket) Hashtbl.t;
+  rotation : string Queue.t;  (* round-robin order of non-empty buckets *)
   max_pending : int;
+  tenant_pending : int option;
+  tenant_active : int option;
   mutex : Mutex.t; [@ppdc.guards "work_queue"]
-  work : Condition.t;  (* job pushed or shutdown began *)
+  work : Condition.t;  (* job pushed, job completed, or shutdown began *)
   idle : Condition.t;  (* accepted work fully drained *)
+  mutable pending_count : int;  (* jobs accepted, not yet started *)
   mutable stopping : bool;
   mutable joined : bool;
   mutable active : int;
   mutable rejected : int;
+  mutable tenant_rejected : int;
   mutable completed : int;
   mutable failures : int;
   mutable workers : unit Domain.t array;
@@ -26,48 +48,125 @@ type 'a t = {
 let locked t f = Mutexes.with_lock t.mutex f
 [@@ppdc.calls_under "work_queue"]
 
+(* All bucket helpers run under the lock. *)
+
+let bucket_of t tenant =
+  match Hashtbl.find_opt t.buckets tenant with
+  | Some b -> b
+  | None ->
+      let b = { jobs = Queue.create (); b_active = 0; queued = false } in
+      Hashtbl.add t.buckets tenant b;
+      b
+
+(* A bucket is dropped only when fully quiescent, so [b_active]
+   accounting never loses its record mid-flight. *)
+let drop_if_quiescent t tenant b =
+  if Queue.is_empty b.jobs && b.b_active = 0 && not b.queued then
+    Hashtbl.remove t.buckets tenant
+
+(* One round-robin pass over the rotation: dispatch the first tenant
+   not at its active cap; tenants at cap are rotated to the back and
+   retried on the next pass (a completion broadcasts [work]). [None]
+   means nothing is dispatchable right now — either no pending jobs or
+   every pending tenant is at cap. *)
+let take_job t =
+  let passes = Queue.length t.rotation in
+  let rec go i =
+    if i >= passes then None
+    else
+      match Queue.pop t.rotation with
+      | exception Queue.Empty -> None
+      | tenant -> (
+          match Hashtbl.find_opt t.buckets tenant with
+          | None -> go i (* stale entry; not a real pass *)
+          | Some b ->
+              let capped =
+                match t.tenant_active with
+                | Some cap -> b.b_active >= cap
+                | None -> false
+              in
+              if capped then begin
+                Queue.push tenant t.rotation;
+                go (i + 1)
+              end
+              else begin
+                let job = Queue.pop b.jobs in
+                b.b_active <- b.b_active + 1;
+                t.pending_count <- t.pending_count - 1;
+                if Queue.is_empty b.jobs then b.queued <- false
+                else Queue.push tenant t.rotation;
+                Some (tenant, job)
+              end)
+  in
+  go 0
+
 let rec worker_loop t =
   let job =
     locked t (fun () ->
-        while Queue.is_empty t.pending && not t.stopping do
-          Condition.wait t.work t.mutex
-        done;
-        if Queue.is_empty t.pending then None (* stopping, nothing left *)
-        else begin
-          let job = Queue.pop t.pending in
-          t.active <- t.active + 1;
-          Some job
-        end)
+        let rec wait () =
+          match take_job t with
+          | Some picked ->
+              t.active <- t.active + 1;
+              Some picked
+          | None ->
+              if t.stopping && t.pending_count = 0 then None
+              else begin
+                Condition.wait t.work t.mutex;
+                wait ()
+              end
+        in
+        wait ())
   in
   match job with
   | None -> ()
-  | Some job ->
+  | Some (tenant, job) ->
       let failed = match t.run job with () -> false | exception _ -> true in
       locked t (fun () ->
           t.active <- t.active - 1;
           t.completed <- t.completed + 1;
           if failed then t.failures <- t.failures + 1;
-          if t.active = 0 && Queue.is_empty t.pending then
+          (match Hashtbl.find_opt t.buckets tenant with
+          | Some b ->
+              b.b_active <- b.b_active - 1;
+              drop_if_quiescent t tenant b
+          | None -> ());
+          (* This completion may unblock a tenant that was at its
+             active cap, and shutdown waiters. *)
+          Condition.broadcast t.work;
+          if t.active = 0 && t.pending_count = 0 then
             Condition.broadcast t.idle);
       worker_loop t
 
-let create ~workers ~max_pending run =
+let create ~workers ~max_pending ?tenant_pending ?tenant_active run =
   if workers < 1 then
     invalid_arg "Work_queue.create: need at least one worker";
   if max_pending < 0 then
     invalid_arg "Work_queue.create: max_pending must be >= 0";
+  (match tenant_pending with
+  | Some v when v < 0 ->
+      invalid_arg "Work_queue.create: tenant_pending must be >= 0"
+  | _ -> ());
+  (match tenant_active with
+  | Some v when v < 1 ->
+      invalid_arg "Work_queue.create: tenant_active must be >= 1"
+  | _ -> ());
   let t =
     {
       run;
-      pending = Queue.create ();
+      buckets = Hashtbl.create 8;
+      rotation = Queue.create ();
       max_pending;
+      tenant_pending;
+      tenant_active;
       mutex = Mutex.create ();
       work = Condition.create ();
       idle = Condition.create ();
+      pending_count = 0;
       stopping = false;
       joined = false;
       active = 0;
       rejected = 0;
+      tenant_rejected = 0;
       completed = 0;
       failures = 0;
       workers = [||];
@@ -76,26 +175,48 @@ let create ~workers ~max_pending run =
   t.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let push t job =
+let push ?(tenant = "") t job =
   locked t (fun () ->
       if t.stopping then begin
         t.rejected <- t.rejected + 1;
         Stopped
       end
-      else if Queue.length t.pending >= t.max_pending && t.active >= Array.length t.workers
-      then begin
-        t.rejected <- t.rejected + 1;
-        Overloaded
-      end
-      else begin
-        Queue.push job t.pending;
-        Condition.signal t.work;
-        Accepted
-      end)
+      else
+        let b = bucket_of t tenant in
+        let tenant_full =
+          match t.tenant_pending with
+          | Some cap -> Queue.length b.jobs >= cap
+          | None -> false
+        in
+        if tenant_full then begin
+          t.rejected <- t.rejected + 1;
+          t.tenant_rejected <- t.tenant_rejected + 1;
+          drop_if_quiescent t tenant b;
+          Overloaded
+        end
+        else if
+          t.pending_count >= t.max_pending
+          && t.active >= Array.length t.workers
+        then begin
+          t.rejected <- t.rejected + 1;
+          drop_if_quiescent t tenant b;
+          Overloaded
+        end
+        else begin
+          Queue.push job b.jobs;
+          t.pending_count <- t.pending_count + 1;
+          if not b.queued then begin
+            b.queued <- true;
+            Queue.push tenant t.rotation
+          end;
+          Condition.signal t.work;
+          Accepted
+        end)
 
-let depth t = locked t (fun () -> Queue.length t.pending)
+let depth t = locked t (fun () -> t.pending_count)
 let active t = locked t (fun () -> t.active)
 let rejected t = locked t (fun () -> t.rejected)
+let tenant_rejected t = locked t (fun () -> t.tenant_rejected)
 let completed t = locked t (fun () -> t.completed)
 let failures t = locked t (fun () -> t.failures)
 
@@ -105,7 +226,7 @@ let shutdown t =
         let first = not t.stopping in
         t.stopping <- true;
         Condition.broadcast t.work;
-        while t.active > 0 || not (Queue.is_empty t.pending) do
+        while t.active > 0 || t.pending_count > 0 do
           Condition.wait t.idle t.mutex
         done;
         if first && not t.joined then begin

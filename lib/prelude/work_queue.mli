@@ -9,6 +9,18 @@
     bound. Built for [Ppdc_server.Transport]'s accept loop, where a job
     is one accepted connection, but the module is generic.
 
+    {b Tenant fairness.} {!push} optionally tags a job with a tenant.
+    Jobs are kept in per-tenant lanes and dispatched by
+    deficit-round-robin over the lanes; with unit job cost DRR reduces
+    to exact per-tenant round-robin, so one tenant's burst cannot
+    starve another's single pending job. [create]'s [tenant_pending]
+    cap bounds one tenant's lane (excess rejected [Overloaded] even
+    when the global queue has room) and [tenant_active] bounds one
+    tenant's concurrently executing jobs (its lane is skipped until a
+    completion frees a slot). Untagged jobs share one lane, so a queue
+    used without tenants behaves exactly like the original global
+    FIFO.
+
     This pool is deliberately not {!Parallel}: that module runs one
     index-based task set at a time to completion (a compute barrier),
     while this one runs an open-ended stream of independent,
@@ -27,18 +39,29 @@ type push_result =
   | Overloaded  (** pending queue full — job rejected, run nothing *)
   | Stopped  (** {!shutdown} already began — job rejected *)
 
-val create : workers:int -> max_pending:int -> ('a -> unit) -> 'a t
+val create :
+  workers:int ->
+  max_pending:int ->
+  ?tenant_pending:int ->
+  ?tenant_active:int ->
+  ('a -> unit) ->
+  'a t
 (** [create ~workers ~max_pending run] spawns [workers] domains that
     execute [run job] for each accepted job, in FIFO order of
-    acceptance. A push is accepted when a worker is free (fewer than
+    acceptance within a tenant lane (and globally when all jobs share
+    one lane). A push is accepted when a worker is free (fewer than
     [workers] jobs executing) or the pending queue holds fewer than
     [max_pending] jobs, so at most [workers + max_pending] accepted
     jobs are ever waiting to start; [max_pending = 0] rejects exactly
-    when every worker is busy. Raises [Invalid_argument] if
-    [workers < 1] or [max_pending < 0]. *)
+    when every worker is busy. [tenant_pending] additionally bounds
+    one tenant's pending lane; [tenant_active] bounds one tenant's
+    executing jobs (omitted caps are unlimited). Raises
+    [Invalid_argument] if [workers < 1], [max_pending < 0],
+    [tenant_pending < 0] or [tenant_active < 1]. *)
 
-val push : 'a t -> 'a -> push_result
-(** Submit a job; never blocks. *)
+val push : ?tenant:string -> 'a t -> 'a -> push_result
+(** Submit a job; never blocks. [tenant] selects the fairness lane
+    (default: the shared anonymous lane). *)
 
 val depth : 'a t -> int
 (** Jobs accepted but not yet started. *)
@@ -48,6 +71,10 @@ val active : 'a t -> int
 
 val rejected : 'a t -> int
 (** Pushes that returned [Overloaded] or [Stopped]. *)
+
+val tenant_rejected : 'a t -> int
+(** The subset of {!rejected} caused by a [tenant_pending] lane cap
+    rather than the global bound. *)
 
 val completed : 'a t -> int
 (** Jobs whose [run] returned or raised. *)

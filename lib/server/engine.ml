@@ -12,21 +12,24 @@ module Workload = Ppdc_traffic.Workload
 module Failures = Ppdc_extensions.Failures
 open Ppdc_core
 
-(* Concurrency model (see DESIGN.md §4e). Three locks, always taken in
-   this order and never the reverse:
+(* Concurrency model (see DESIGN.md §4e/§4j). Four lock classes,
+   always taken in this order and never the reverse:
 
-     registry_mutex  >  session.lock  >  cache_mutex
+     shard (Registry)  >  session.lock  >  cache_mutex  >  stats_mutex
 
-   [registry_mutex] guards the session table, the request counters and
-   the load probe — held only for table lookups and counter bumps,
-   never across a handler. [session.lock] serializes the requests of
-   one session (two clients of the same session see a consistent
-   placement/rates/graph) while distinct sessions run in parallel on
-   the transport's worker pool. [cache_mutex] guards the shared
-   cost-matrix LRU, including building a missing matrix, so concurrent
-   misses for the same digest wait for one build instead of computing
-   it twice. *)
-[@@@ppdc.lock_order "registry session cache"]
+   ["shard"] is the per-shard mutex of the sharded session registry
+   ({!Registry}): a lookup or insert locks only the shard its session
+   name hashes to, so distinct sessions contend only on hash
+   collisions instead of one global lock. [session.lock] serializes
+   the requests of one session (two clients of the same session see a
+   consistent placement/rates/graph) while distinct sessions run in
+   parallel on the transport's worker pool. [cache_mutex] guards the
+   shared cost-matrix LRU, including building a missing matrix, so
+   concurrent misses for the same digest wait for one build instead of
+   computing it twice. [stats_mutex] is a leaf guarding the per-method
+   latency table and the load probe; the plain request counters are
+   atomics and need no lock at all. *)
+[@@@ppdc.lock_order "shard session cache stats"]
 
 type session = {
   k : int;
@@ -64,14 +67,18 @@ type load = {
 type t = {
   cache : (string, Cost_matrix.t) Lru.t;
   cache_mutex : Mutex.t; [@ppdc.guards "cache"]
-  sessions : (string, session) Hashtbl.t;
-  registry_mutex : Mutex.t; [@ppdc.guards "registry"]
+  registry : session Registry.t;
   started : float;
   by_method : (string, method_stats) Hashtbl.t;
-  mutable total_requests : int;
-  mutable errors : int;
-  mutable deadline_errors : int;
-  mutable load_probe : (unit -> load) option;
+  stats_mutex : Mutex.t; [@ppdc.guards "stats"]
+  total_requests : int Atomic.t;
+  errors : int Atomic.t;
+  deadline_errors : int Atomic.t;
+  (* Requests answered [session_evicted]: the client-visible cost of
+     the budgets, distinct from the eviction counts themselves (one
+     eviction can cause any number of evicted answers). *)
+  evicted_answers : int Atomic.t;
+  mutable load_probe : (unit -> load) option;  (* under [stats_mutex] *)
   (* Cost-matrix provenance counters, guarded by [cache_mutex] (both
      are only touched while the cache is): [cm_rebuilds] counts cold
      all-pairs computes, [cm_repairs] counts matrices derived
@@ -83,27 +90,32 @@ type t = {
   stop : bool Atomic.t;
 }
 
-let create ?(cache_capacity = 8) () =
+let create ?(cache_capacity = 8) ?shards ?session_budget ?tenant_sessions
+    ?tenant_bytes ?tenant_inflight () =
   {
     cache = Lru.create ~capacity:cache_capacity;
     cache_mutex = Mutex.create ();
-    sessions = Hashtbl.create 8;
-    registry_mutex = Mutex.create ();
+    registry =
+      Registry.create ?shards ?session_budget ?tenant_sessions ?tenant_bytes
+        ?tenant_inflight ();
     started = Clock.now ();
     by_method = Hashtbl.create 16;
-    total_requests = 0;
-    errors = 0;
-    deadline_errors = 0;
+    stats_mutex = Mutex.create ();
+    total_requests = Atomic.make 0;
+    errors = Atomic.make 0;
+    deadline_errors = Atomic.make 0;
+    evicted_answers = Atomic.make 0;
     load_probe = None;
     cm_rebuilds = 0;
     cm_repairs = 0;
     stop = Atomic.make false;
   }
 
+let set_registry_test_hook t hook = Registry.set_test_hook t.registry hook
 let stopped t = Atomic.get t.stop
 
 let set_load_probe t probe =
-  Mutexes.with_lock t.registry_mutex (fun () -> t.load_probe <- Some probe)
+  Mutexes.with_lock t.stats_mutex (fun () -> t.load_probe <- Some probe)
 
 (* Handler-side failure: mapped to an error response by [handle_line]. *)
 exception Reject of Protocol.error_code * string
@@ -119,19 +131,27 @@ let placement_json (p : Placement.t) = Json.List (Array.to_list (Array.map num p
 
 (* --- session helpers ---------------------------------------------------- *)
 
-(* Look the session up under the registry lock, then run [f] holding
+(* Look the session up in the sharded registry (which locks only the
+   name's shard and refreshes its LRU recency), then run [f] holding
    only the session's own lock, so requests against distinct sessions
    proceed in parallel while two against the same session serialize.
-   [load_topology] may replace the table entry meanwhile; the in-flight
-   request keeps operating on the record it resolved — the same
-   outcome as finishing just before the replacement. *)
+   [load_topology] may replace the registry entry meanwhile; the
+   in-flight request keeps operating on the record it resolved — the
+   same outcome as finishing just before the replacement. A session
+   reclaimed by a budget answers [session_evicted] (with the id
+   echoed by [handle_line]) so the client knows to re-create it,
+   rather than the "typo" semantics of [unknown_session]. *)
 let with_session t params f =
   let name = Protocol.req_str_param params "session" in
-  match
-    Mutexes.with_lock t.registry_mutex (fun () -> Hashtbl.find_opt t.sessions name)
-  with
-  | None -> reject Unknown_session "no session named %S; load_topology first" name
-  | Some s -> Mutexes.with_lock s.lock (fun () -> f s)
+  match Registry.find t.registry name with
+  | Registry.Found s -> Mutexes.with_lock s.lock (fun () -> f s)
+  | Registry.Was_evicted ->
+      Atomic.incr t.evicted_answers;
+      Obs.incr "rpc.session_evicted";
+      reject Session_evicted
+        "session %S was evicted by a session budget; load_topology again" name
+  | Registry.Unknown ->
+      reject Unknown_session "no session named %S; load_topology first" name
 [@@ppdc.calls_under "session"]
 
 (* Resolve the session's all-pairs matrix through the LRU: the single
@@ -157,17 +177,27 @@ let problem_of t s =
 (* --- handlers ----------------------------------------------------------- *)
 
 let health t _params =
-  let sessions =
-    Mutexes.with_lock t.registry_mutex (fun () -> Hashtbl.length t.sessions)
-  in
   Json.Obj
     [
       ("status", Str "ok");
       ("schema", Str "ppdc.rpc/1");
       ("version", Str "1.0.0");
       ("uptime_s", fnum (Clock.elapsed_s ~since:t.started));
-      ("sessions", num sessions);
+      ("sessions", num (Registry.length t.registry));
     ]
+
+(* Resident-size estimate charged against the owning tenant's byte
+   budget: the CSR graph (two int arrays over edges plus node offsets),
+   the flow records and the rates vector. Deliberately coarse — the
+   budgets exist to bound a tenant's footprint, not to audit the
+   allocator — but deterministic, so byte-budget eviction choreography
+   is reproducible in tests. The shared cost-matrix cache is bounded
+   separately and charged to nobody. *)
+let session_bytes ~graph ~flows =
+  64
+  + (16 * Graph.num_nodes graph)
+  + (32 * Graph.num_edges graph)
+  + (48 * Array.length flows)
 
 let load_topology t params =
   let name = Protocol.req_str_param params "session" in
@@ -212,17 +242,38 @@ let load_topology t params =
       failed_count = 0;
     }
   in
-  let replaced =
-    Mutexes.with_lock t.registry_mutex (fun () ->
-        let replaced = Hashtbl.mem t.sessions name in
-        Hashtbl.replace t.sessions name session;
-        replaced)
+  (* The session was fully constructed above, outside every lock: the
+     fat-tree build and workload draw are the expensive part of a
+     create, and holding the (per-shard) registry lock across them
+     would serialize creates that land on the same shard — the
+     regression the concurrent-create test in test_server_shard.ml
+     pins. [put] holds only the name's shard lock for the table
+     insert, then enforces the budgets. *)
+  let outcome =
+    Registry.put t.registry ~name ~bytes:(session_bytes ~graph ~flows) session
   in
+  List.iter
+    (fun (e : Registry.eviction) ->
+      Obs.incr "server.session.evicted";
+      Obs.incr ("server.session.evicted." ^ Registry.reason_slug e.reason))
+    outcome.evicted;
   let cached = Mutexes.with_lock t.cache_mutex (fun () -> Lru.mem t.cache digest) in
   Json.Obj
     [
       ("session", Str name);
-      ("replaced", Bool replaced);
+      ("tenant", Str (Registry.tenant_of name));
+      ("replaced", Bool outcome.replaced);
+      ( "evicted",
+        Json.List
+          (List.map
+             (fun (e : Registry.eviction) ->
+               Json.Obj
+                 [
+                   ("session", Json.Str e.victim);
+                   ("tenant", Json.Str e.victim_tenant);
+                   ("reason", Json.Str (Registry.reason_slug e.reason));
+                 ])
+             outcome.evicted) );
       ("k", num k);
       ("hosts", num (Graph.num_hosts graph));
       ("switches", num (Graph.num_switches graph));
@@ -578,33 +629,40 @@ let simulate_events t params =
       ("elapsed_ms", fnum (1000.0 *. Clock.elapsed_s ~since:t0));
     ]
 
+let num_opt = function None -> Json.Null | Some v -> num v
+
 let stats t _params =
-  (* Snapshot the registry under its lock, then render session fields
-     without taking the per-session locks: single mutable-field reads
-     are atomic in OCaml, and stats is a monitoring view — a request
-     racing it simply shows its before-or-after state. *)
-  let session_list, by_method, totals, probe =
-    Mutexes.with_lock t.registry_mutex (fun () ->
-        let sessions =
-          Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sessions []
-        in
+  (* Snapshot the registry one shard lock at a time, then render
+     session fields without taking the per-session locks: single
+     mutable-field reads are atomic in OCaml, and stats is a
+     monitoring view — a request racing it simply shows its
+     before-or-after state. Sessions are sorted by name so the
+     rendering never depends on shard count or hash order. *)
+  let session_list =
+    Registry.fold t.registry ~init:[] ~f:(fun acc ~name ~tenant s ->
+        (name, tenant, s) :: acc)
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let by_method, probe =
+    Mutexes.with_lock t.stats_mutex (fun () ->
         let by_method =
           Hashtbl.fold
             (fun m st acc -> (m, (st.calls, st.total_s, st.max_s)) :: acc)
             t.by_method []
           |> List.sort (fun (a, _) (b, _) -> String.compare a b)
         in
-        ( sessions,
-          by_method,
-          (t.total_requests, t.errors, t.deadline_errors),
-          t.load_probe ))
+        (by_method, t.load_probe))
+  in
+  let totals =
+    (Atomic.get t.total_requests, Atomic.get t.errors, Atomic.get t.deadline_errors)
   in
   let sessions =
     List.map
-      (fun (name, (s : session)) ->
+      (fun (name, tenant, (s : session)) ->
         Json.Obj
           [
             ("name", Str name);
+            ("tenant", Str tenant);
             ("k", num s.k);
             ("nodes", num (Graph.num_nodes s.graph));
             ("links", num (Graph.num_edges s.graph));
@@ -655,6 +713,43 @@ let stats t _params =
             ("rebuilds", num t.cm_rebuilds);
           ])
   in
+  let registry_section =
+    let c = Registry.counters t.registry in
+    let l = Registry.limits t.registry in
+    Json.Obj
+      [
+        ("shards", num (Registry.shard_count t.registry));
+        ("sessions", num (Registry.length t.registry));
+        ( "shard_sessions",
+          Json.List
+            (Array.to_list (Array.map num (Registry.shard_sizes t.registry)))
+        );
+        ("session_budget", num_opt l.session_budget);
+        ("tenant_sessions", num_opt l.tenant_sessions);
+        ("tenant_bytes", num_opt l.tenant_bytes);
+        ( "evictions",
+          Json.Obj
+            [
+              ( "total",
+                num
+                  (c.evicted_budget + c.evicted_tenant_sessions
+                 + c.evicted_tenant_bytes) );
+              ("budget", num c.evicted_budget);
+              ("tenant_sessions", num c.evicted_tenant_sessions);
+              ("tenant_bytes", num c.evicted_tenant_bytes);
+            ] );
+        ("evicted_answers", num (Atomic.get t.evicted_answers));
+      ]
+  in
+  let fairness_section =
+    let c = Registry.counters t.registry in
+    let l = Registry.limits t.registry in
+    Json.Obj
+      [
+        ("tenant_inflight", num_opt l.tenant_inflight);
+        ("rejections", num c.fairness_rejections);
+      ]
+  in
   let server =
     match probe with
     | None -> []
@@ -685,6 +780,8 @@ let stats t _params =
              ("latency_ms", Json.Obj latency);
            ] );
        ("cache", cache);
+       ("registry", registry_section);
+       ("fairness", fairness_section);
      ]
     @ server
     @ [ ("sessions", Json.List sessions) ])
@@ -712,11 +809,11 @@ let dispatch t (req : Protocol.request) =
   Obs.time ("rpc." ^ req.meth) (fun () -> handler t req.params)
 
 let note_error t =
-  Mutexes.with_lock t.registry_mutex (fun () -> t.errors <- t.errors + 1);
+  Atomic.incr t.errors;
   Obs.incr "rpc.errors"
 
 let record_latency t meth elapsed =
-  Mutexes.with_lock t.registry_mutex (fun () ->
+  Mutexes.with_lock t.stats_mutex (fun () ->
       let st =
         match Hashtbl.find_opt t.by_method meth with
         | Some st -> st
@@ -729,9 +826,39 @@ let record_latency t meth elapsed =
       st.total_s <- st.total_s +. elapsed;
       if Float.compare elapsed st.max_s > 0 then st.max_s <- elapsed)
 
+(* Tenant of a tenant-scoped request (one that names a session). Total:
+   an ill-typed "session" field is left for the handler's own parameter
+   checking — admission must never turn a type error into overloaded. *)
+let request_tenant (req : Protocol.request) =
+  match Json.member "session" req.params with
+  | Some (Json.Str name) -> Some (Registry.tenant_of name)
+  | _ -> None
+
+let run_handler t (req : Protocol.request) =
+  let t0 = Clock.now () in
+  let finish response =
+    record_latency t req.meth (Clock.elapsed_s ~since:t0);
+    response
+  in
+  match dispatch t req with
+  | result -> finish (Protocol.ok_response ~id:req.id result)
+  | exception Reject (code, msg) ->
+      note_error t;
+      finish (Protocol.error_response ~id:req.id code msg)
+  | exception Protocol.Bad_params msg ->
+      note_error t;
+      finish (Protocol.error_response ~id:req.id Invalid_params msg)
+  | exception Invalid_argument msg ->
+      note_error t;
+      finish (Protocol.error_response ~id:req.id Invalid_params msg)
+  | exception exn ->
+      note_error t;
+      finish
+        (Protocol.error_response ~id:req.id Internal_error
+           (Printexc.to_string exn))
+
 let handle_line ?deadline t line =
-  Mutexes.with_lock t.registry_mutex (fun () ->
-      t.total_requests <- t.total_requests + 1);
+  Atomic.incr t.total_requests;
   Obs.incr "rpc.requests";
   match Protocol.request_of_line line with
   | Error (code, msg) ->
@@ -742,35 +869,31 @@ let handle_line ?deadline t line =
       | Some d when Float.compare (Clock.now ()) d > 0 ->
           (* The request spent its whole time budget queued; answer
              without starting the handler so the worker moves on. *)
-          Mutexes.with_lock t.registry_mutex (fun () ->
-              t.errors <- t.errors + 1;
-              t.deadline_errors <- t.deadline_errors + 1);
+          Atomic.incr t.errors;
+          Atomic.incr t.deadline_errors;
           Obs.incr "rpc.errors";
           Obs.incr "rpc.deadline_exceeded";
           Protocol.error_response ~id:req.id Deadline_exceeded
             "request deadline expired before the handler could start"
       | _ -> (
-          let t0 = Clock.now () in
-          let finish response =
-            record_latency t req.meth (Clock.elapsed_s ~since:t0);
-            response
-          in
-          match dispatch t req with
-          | result -> finish (Protocol.ok_response ~id:req.id result)
-          | exception Reject (code, msg) ->
+          (* Per-tenant admission: a tenant already running its
+             configured share of concurrent handlers is answered
+             overloaded before the handler starts, so one tenant's
+             burst cannot occupy every worker. Requests that name no
+             session (health, stats, shutdown) are never gated. *)
+          match request_tenant req with
+          | Some tenant when not (Registry.enter_tenant t.registry tenant) ->
               note_error t;
-              finish (Protocol.error_response ~id:req.id code msg)
-          | exception Protocol.Bad_params msg ->
-              note_error t;
-              finish (Protocol.error_response ~id:req.id Invalid_params msg)
-          | exception Invalid_argument msg ->
-              note_error t;
-              finish (Protocol.error_response ~id:req.id Invalid_params msg)
-          | exception exn ->
-              note_error t;
-              finish
-                (Protocol.error_response ~id:req.id Internal_error
-                   (Printexc.to_string exn))))
+              Obs.incr "server.fairness.rejected";
+              Protocol.error_response ~id:req.id Overloaded
+                (Printf.sprintf
+                   "tenant %S is at its in-flight request cap; retry later"
+                   tenant)
+          | Some tenant ->
+              Fun.protect
+                ~finally:(fun () -> Registry.exit_tenant t.registry tenant)
+                (fun () -> run_handler t req)
+          | None -> run_handler t req))
 
 let overlong_response =
   Protocol.error_response ~id:Json.Null Line_too_long

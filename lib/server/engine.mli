@@ -10,17 +10,32 @@
 
     {b Thread safety.} {!handle_line} may be called concurrently from
     any number of domains — the socket transport runs one call per
-    worker. Internally (DESIGN.md §4e): the session table and request
-    counters live under a registry mutex held only for lookups and
-    bumps; each session carries its own lock, so two requests against
-    the same session serialize while distinct sessions run in
-    parallel; and the shared cost-matrix LRU has a dedicated mutex
-    under which missing matrices are also built, so concurrent misses
-    for one fabric wait for a single build. Lock order is always
-    registry > session > cache. Solver outputs are bit-identical to a
-    sequential run: handlers are deterministic given the session state
-    they serialized on, and the {!Ppdc_prelude.Parallel} sections they
-    use are schedule-independent by contract.
+    worker. Internally (DESIGN.md §4e/§4j): sessions live in a
+    {!Registry} sharded by a stable hash of the session name, one
+    mutex per shard (lock class ["shard"]), so two creates or lookups
+    contend only when their names share a shard; each session carries
+    its own lock, so two requests against the same session serialize
+    while distinct sessions run in parallel; the shared cost-matrix
+    LRU has a dedicated mutex under which missing matrices are also
+    built, so concurrent misses for one fabric wait for a single
+    build; and a leaf stats mutex guards the per-method latency table
+    (plain request counters are atomics). Lock order is always
+    shard > session > cache > stats. Solver outputs are bit-identical
+    to a sequential run — and independent of the shard count: handlers
+    are deterministic given the session state they serialized on, and
+    the {!Ppdc_prelude.Parallel} sections they use are
+    schedule-independent by contract.
+
+    {b Budgets, eviction and fairness.} [create] optionally bounds the
+    registry: a global session budget, per-tenant session and byte
+    budgets (tenant = session-name prefix before the first ['-']),
+    enforced by LRU eviction whose victims are deterministic for a
+    sequential workload at any shard count. A request naming an
+    evicted session is answered with the structured [session_evicted]
+    error; a tenant exceeding its in-flight request cap is answered
+    [overloaded] before its handler starts. The [stats] result's
+    [registry] and [fairness] sections expose the shard sizes and the
+    eviction/rejection counters.
 
     The cost-matrix cache is the server's point: [load_topology] and
     [fail_links] are cheap (no all-pairs recompute), and each
@@ -54,9 +69,26 @@
 
 type t
 
-val create : ?cache_capacity:int -> unit -> t
+val create :
+  ?cache_capacity:int ->
+  ?shards:int ->
+  ?session_budget:int ->
+  ?tenant_sessions:int ->
+  ?tenant_bytes:int ->
+  ?tenant_inflight:int ->
+  unit ->
+  t
 (** Fresh engine with no sessions. [cache_capacity] (default 8) bounds
-    the cost-matrix LRU. Raises [Invalid_argument] if it is < 1. *)
+    the cost-matrix LRU; raises [Invalid_argument] if it is < 1.
+    [shards] (default {!Ppdc_prelude.Parallel.domain_count}[ ()], i.e.
+    [-j]/[PPDC_DOMAINS]) is rounded up to a power of two.
+    [session_budget] bounds live sessions globally; [tenant_sessions]
+    and [tenant_bytes] bound each tenant's session count and estimated
+    resident bytes — all enforced by LRU eviction with structured
+    [session_evicted] answers. [tenant_inflight] caps one tenant's
+    concurrently executing handlers (excess answered [overloaded]).
+    Omitted budgets are unlimited, which preserves the PR-4/5
+    behavior exactly. *)
 
 val handle_line : ?deadline:float -> t -> string -> string
 (** Answer one request line with one response line (no trailing
@@ -99,3 +131,9 @@ val overloaded_response : string
 val stopped : t -> bool
 (** True once a [shutdown] request has been answered; transports
     drain their current connection and stop accepting. *)
+
+val set_registry_test_hook : t -> (string -> unit) option -> unit
+(** Test-only ({!Registry.set_test_hook} on the engine's registry):
+    runs inside the shard critical section of every session create, so
+    a test can prove creates on distinct shards hold their shard locks
+    concurrently. Never set this in production. *)

@@ -6,6 +6,7 @@ type error_code =
   | Line_too_long
   | Unknown_method
   | Unknown_session
+  | Session_evicted
   | Invalid_params
   | Overloaded
   | Deadline_exceeded
@@ -17,6 +18,7 @@ let code_slug = function
   | Line_too_long -> "line_too_long"
   | Unknown_method -> "unknown_method"
   | Unknown_session -> "unknown_session"
+  | Session_evicted -> "session_evicted"
   | Invalid_params -> "invalid_params"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"

@@ -28,6 +28,11 @@ type error_code =
   | Line_too_long  (** request line exceeded the transport bound *)
   | Unknown_method
   | Unknown_session  (** the named session does not exist *)
+  | Session_evicted
+      (** the named session existed but was evicted by the per-tenant
+          or global session budget; the client must [load_topology]
+          again (distinct from [Unknown_session] so a well-behaved
+          client can tell "typo" from "reclaimed") *)
   | Invalid_params  (** missing/ill-typed parameter, infeasible value *)
   | Overloaded
       (** worker pool and pending queue full — the connection was

@@ -1,0 +1,127 @@
+(** Sharded, tenant-aware session store with LRU budgets.
+
+    The engine's replacement for its former single mutex-guarded
+    session table (DESIGN.md §4j). A key (session name) is mapped to a
+    shard by a {e stable} FNV-1a hash masked to a power-of-two shard
+    count, so two requests for different sessions contend only when
+    their names hash to the same shard. Each shard is guarded by its
+    own mutex (lock class ["shard"], the outermost class in the
+    engine's declared order); no operation ever holds two shard locks
+    at once.
+
+    {b Tenancy.} The tenant of a session is the name prefix before the
+    first ['-'] ({!tenant_of}; a name without ['-'] is its own
+    tenant). Per-tenant counters (live sessions, bytes, in-flight
+    requests) live in the tenant's {e home shard} — the shard its
+    tenant id hashes to — regardless of where its sessions land.
+
+    {b Budgets and eviction.} [put] enforces, in order: the tenant's
+    session-count cap, the tenant's byte budget, then the global
+    session budget — each by evicting least-recently-used entries.
+    Recency is a single global atomic logical clock (bumped on every
+    create/touch), which totally orders entries {e across} shards:
+    for a sequential workload the eviction victims are identical for
+    every shard count, the invariant the model-based test replays.
+    The entry just created is never its own victim. Evicted names are
+    remembered in a bounded per-shard tombstone set so a later {!find}
+    answers {!Was_evicted} (→ the wire's [session_evicted]) rather
+    than {!Unknown} (→ [unknown_session]); re-creating the name clears
+    its tombstone.
+
+    {b Thread safety.} Every operation may be called from any domain.
+    Eviction under concurrent touches is phased (scan one shard at a
+    time, then re-check the victim's stamp under its own lock) and
+    retries a bounded number of times, so a victim that was touched
+    meanwhile is simply no longer the victim. *)
+
+type 'v t
+
+type reason =
+  | Budget  (** global session budget exceeded *)
+  | Tenant_sessions  (** the owning tenant's session-count cap *)
+  | Tenant_bytes  (** the owning tenant's byte budget *)
+
+val reason_slug : reason -> string
+(** Stable wire name: ["budget"], ["tenant_sessions"], ["tenant_bytes"]. *)
+
+type eviction = { victim : string; victim_tenant : string; reason : reason }
+type put_outcome = { replaced : bool; evicted : eviction list }
+
+type 'v find_result =
+  | Found of 'v
+  | Was_evicted  (** the name existed and was reclaimed by a budget *)
+  | Unknown
+
+type limits = {
+  session_budget : int option;
+  tenant_sessions : int option;
+  tenant_bytes : int option;
+  tenant_inflight : int option;
+}
+
+val create :
+  ?shards:int ->
+  ?session_budget:int ->
+  ?tenant_sessions:int ->
+  ?tenant_bytes:int ->
+  ?tenant_inflight:int ->
+  ?tombstone_cap:int ->
+  unit ->
+  'v t
+(** [shards] (default {!Ppdc_prelude.Parallel.domain_count}[ ()]) is
+    rounded up to a power of two. Omitted budgets are unlimited.
+    [tombstone_cap] (default 1024) bounds each shard's evicted-name
+    memory; 0 disables tombstones (evicted names answer {!Unknown}).
+    Raises [Invalid_argument] on a non-positive count or budget. *)
+
+val tenant_of : string -> string
+(** Name prefix before the first ['-']; the whole name when absent. *)
+
+val shard_count : 'v t -> int
+val shard_id : 'v t -> string -> int
+(** Stable shard of a name (machine- and run-independent). *)
+
+val put : 'v t -> name:string -> bytes:int -> 'v -> put_outcome
+(** Insert or replace, then enforce budgets. [bytes] is the caller's
+    size estimate, charged to the tenant. The outcome lists every
+    entry evicted to make room, oldest first. *)
+
+val find : 'v t -> string -> 'v find_result
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val evict : 'v t -> string -> bool
+(** Explicit removal (tombstoned like a budget eviction, but not
+    counted in {!counters}); [false] when the name is absent. *)
+
+val length : 'v t -> int
+(** Live entries across all shards. *)
+
+val shard_sizes : 'v t -> int array
+
+val fold :
+  'v t -> init:'a -> f:('a -> name:string -> tenant:string -> 'v -> 'a) -> 'a
+(** Snapshot fold over live entries, one shard lock at a time, in
+    unspecified order. *)
+
+val enter_tenant : 'v t -> string -> bool
+(** Per-tenant in-flight admission: [false] (and a fairness-rejection
+    count) when the tenant already has [tenant_inflight] requests
+    executing. Always [true] when no cap was configured. *)
+
+val exit_tenant : 'v t -> string -> unit
+(** Release one in-flight slot taken by {!enter_tenant}. *)
+
+type counters = {
+  evicted_budget : int;
+  evicted_tenant_sessions : int;
+  evicted_tenant_bytes : int;
+  fairness_rejections : int;
+}
+
+val counters : 'v t -> counters
+val limits : 'v t -> limits
+
+val set_test_hook : 'v t -> (string -> unit) option -> unit
+(** Test-only: [f name] runs inside the shard critical section of
+    every {!put}, so a test can block a shard and prove creates on
+    distinct shards proceed concurrently. *)

@@ -1,0 +1,43 @@
+(* R6 probe for the engine's sharded-registry lock order: the "shard"
+   class is acquired inside a helper carrying [@@ppdc.calls_under], the
+   shape Ppdc_server uses for Registry.find/put, so this pins that R6
+   sees through the helper rather than only through a literal
+   with_lock. One inversion (cache held, then shard via the helper)
+   must fire; the declared shard -> session -> cache nesting and an
+   allow-waived inversion must stay silent.
+   Expected: exactly 1 R6 finding. *)
+
+[@@@ppdc.lock_order "shard session cache"]
+
+module Mutexes = struct
+  let with_lock m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+end
+
+type t = {
+  shard_m : Mutex.t; [@ppdc.guards "shard"]
+  session_m : Mutex.t; [@ppdc.guards "session"]
+  cache_m : Mutex.t; [@ppdc.guards "cache"]
+}
+
+(* The engine's registry shape: the shard lock lives behind a helper
+   whose summary advertises the class it holds. *)
+let with_shard t f = Mutexes.with_lock t.shard_m f [@@ppdc.calls_under "shard"]
+
+(* Must trigger: the cache lock is held while the helper re-enters the
+   shard class — the inversion is only visible through with_shard's
+   summary. *)
+let inverted t = Mutexes.with_lock t.cache_m (fun () -> with_shard t (fun () -> ()))
+
+(* Must not trigger: the declared order, all three classes nested the
+   right way round through the same helper. *)
+let ordered t =
+  with_shard t (fun () ->
+      Mutexes.with_lock t.session_m (fun () ->
+          Mutexes.with_lock t.cache_m (fun () -> ())))
+
+(* A deliberate, documented inversion stays silent under an allow. *)
+let waived t =
+  Mutexes.with_lock t.session_m (fun () ->
+      (with_shard t (fun () -> ()) [@ppdc.allow "R6"]))

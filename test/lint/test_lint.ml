@@ -67,6 +67,7 @@ let test_trigger_counts () =
       ("r5_bad.ml", 5);
       ("r6_bad.ml", 2);
       ("r6_cross_b.ml", 1);
+      ("r6_shard.ml", 1);
       ("r7_bad.ml", 3);
       ("r8_bad.ml", 4);
     ]
@@ -295,6 +296,8 @@ let () =
             (test_triggers "r8_bad.ml" "R8");
           Alcotest.test_case "R6 cross-module via summaries" `Quick
             test_cross_module;
+          Alcotest.test_case "R6 sharded-registry order via helper" `Quick
+            (test_triggers "r6_shard.ml" "R6");
           Alcotest.test_case "exact counts" `Quick test_trigger_counts;
         ] );
       ( "must-not-trigger",

@@ -8,6 +8,8 @@ module Json = Ppdc_prelude.Json
 module Lru = Ppdc_prelude.Lru
 module Clock = Ppdc_prelude.Clock
 module Parallel = Ppdc_prelude.Parallel
+module Mutexes = Ppdc_prelude.Mutexes
+module Work_queue = Ppdc_prelude.Work_queue
 
 (* --- priority queue -------------------------------------------------- *)
 
@@ -623,6 +625,143 @@ let test_clock_elapsed () =
   Alcotest.(check bool) "elapsed is sane (< 10 s)" true
     (Float.compare dt 10.0 < 0)
 
+(* --- work queue -------------------------------------------------------- *)
+
+(* Deterministic harness: every job records its dispatch order and then
+   parks on a shared gate, so a test can fill lanes with the pool
+   provably busy, observe which jobs did or did not start, then release
+   the gate and drain. With one worker the recorded order IS the
+   dequeue order — exactly what the DRR fairness tests need. *)
+let parking_pool ~workers ?max_pending:(max_pending = 16) ?tenant_pending
+    ?tenant_active () =
+  let gate = Atomic.make true in
+  let order_mutex = Mutex.create () in
+  let order = ref [] in
+  let q =
+    Work_queue.create ~workers ~max_pending ?tenant_pending ?tenant_active
+      (fun name ->
+        Mutexes.with_lock order_mutex (fun () -> order := name :: !order);
+        while Atomic.get gate do
+          Unix.sleepf 0.001
+        done)
+  in
+  let started () =
+    Mutexes.with_lock order_mutex (fun () -> List.rev !order)
+  in
+  (q, gate, started)
+
+let wait_for ?(timeout = 5.0) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while
+    (not (pred ())) && Float.compare (Unix.gettimeofday ()) deadline < 0
+  do
+    Unix.sleepf 0.001
+  done;
+  if not (pred ()) then Alcotest.failf "timed out waiting for %s" what
+
+let check_push msg expected got =
+  let name = function
+    | Work_queue.Accepted -> "Accepted"
+    | Work_queue.Overloaded -> "Overloaded"
+    | Work_queue.Stopped -> "Stopped"
+  in
+  Alcotest.(check string) msg (name expected) (name got)
+
+(* Without tenants every push lands in the shared anonymous lane and
+   the pool is the original global FIFO: dispatch order = push order. *)
+let test_wq_untenanted_fifo () =
+  let q, gate, started = parking_pool ~workers:1 () in
+  check_push "first job accepted" Work_queue.Accepted (Work_queue.push q "j0");
+  wait_for "worker to pick up j0" (fun () -> Work_queue.active q = 1);
+  List.iter
+    (fun j -> check_push (j ^ " accepted") Work_queue.Accepted (Work_queue.push q j))
+    [ "j1"; "j2"; "j3"; "j4" ];
+  Alcotest.(check int) "four jobs pending" 4 (Work_queue.depth q);
+  Atomic.set gate false;
+  Work_queue.shutdown q;
+  Alcotest.(check (list string))
+    "FIFO dispatch order"
+    [ "j0"; "j1"; "j2"; "j3"; "j4" ]
+    (started ());
+  Alcotest.(check int) "all completed" 5 (Work_queue.completed q);
+  Alcotest.(check int) "none failed" 0 (Work_queue.failures q)
+
+(* tenant_pending bounds one tenant's lane even when the global queue
+   has plenty of room, and the rejection is attributed to the lane cap
+   in tenant_rejected; other tenants are unaffected. *)
+let test_wq_tenant_pending_cap () =
+  let q, gate, _started = parking_pool ~workers:1 ~tenant_pending:2 () in
+  check_push "occupant accepted" Work_queue.Accepted (Work_queue.push q "busy");
+  wait_for "worker to park" (fun () -> Work_queue.active q = 1);
+  check_push "a1 accepted" Work_queue.Accepted (Work_queue.push ~tenant:"a" q "a1");
+  check_push "a2 accepted" Work_queue.Accepted (Work_queue.push ~tenant:"a" q "a2");
+  check_push "a3 hits the lane cap" Work_queue.Overloaded
+    (Work_queue.push ~tenant:"a" q "a3");
+  Alcotest.(check int) "lane rejection counted" 1 (Work_queue.tenant_rejected q);
+  Alcotest.(check int) "also in the global count" 1 (Work_queue.rejected q);
+  check_push "tenant b still has room" Work_queue.Accepted
+    (Work_queue.push ~tenant:"b" q "b1");
+  Atomic.set gate false;
+  Work_queue.shutdown q;
+  Alcotest.(check int) "accepted jobs all ran" 4 (Work_queue.completed q)
+
+(* tenant_active: a tenant at its executing cap has its lane skipped —
+   its queued job stays pending while another tenant's job (pushed
+   later) is dispatched past it. *)
+let test_wq_tenant_active_cap () =
+  let q, gate, started =
+    parking_pool ~workers:2 ~tenant_active:1 ()
+  in
+  check_push "a1 accepted" Work_queue.Accepted (Work_queue.push ~tenant:"a" q "a1");
+  wait_for "a1 to start" (fun () -> Work_queue.active q = 1);
+  (* Tenant a is at its cap: a2 is accepted but must NOT start even
+     though a worker is idle. *)
+  check_push "a2 accepted" Work_queue.Accepted (Work_queue.push ~tenant:"a" q "a2");
+  check_push "b1 accepted" Work_queue.Accepted (Work_queue.push ~tenant:"b" q "b1");
+  wait_for "b1 to start past a2" (fun () -> Work_queue.active q = 2);
+  Alcotest.(check (list string)) "a2 skipped while a is capped"
+    [ "a1"; "b1" ] (started ());
+  Alcotest.(check int) "a2 still pending" 1 (Work_queue.depth q);
+  Atomic.set gate false;
+  Work_queue.shutdown q;
+  Alcotest.(check int) "a2 ran after a completion freed the slot" 3
+    (Work_queue.completed q)
+
+(* Deficit-round-robin with unit job cost = per-tenant round-robin: a
+   three-deep burst from one tenant does not get three consecutive
+   slots while other tenants wait. *)
+let test_wq_drr_rotation () =
+  let q, gate, started = parking_pool ~workers:1 () in
+  check_push "occupant accepted" Work_queue.Accepted (Work_queue.push q "busy");
+  wait_for "worker to park" (fun () -> Work_queue.active q = 1);
+  List.iter
+    (fun (tenant, j) ->
+      check_push (j ^ " accepted") Work_queue.Accepted
+        (Work_queue.push ~tenant q j))
+    [ ("a", "a1"); ("a", "a2"); ("a", "a3"); ("b", "b1"); ("c", "c1") ];
+  Atomic.set gate false;
+  Work_queue.shutdown q;
+  Alcotest.(check (list string))
+    "per-tenant round-robin dispatch"
+    [ "busy"; "a1"; "b1"; "c1"; "a2"; "a3" ]
+    (started ())
+
+(* shutdown drains everything already accepted, then rejects. *)
+let test_wq_shutdown_drains () =
+  let q, gate, _started =
+    parking_pool ~workers:2 ~tenant_pending:4 ~tenant_active:2 ()
+  in
+  List.iter
+    (fun j ->
+      check_push (j ^ " accepted") Work_queue.Accepted
+        (Work_queue.push ~tenant:"t" q j))
+    [ "t1"; "t2"; "t3"; "t4" ];
+  Atomic.set gate false;
+  Work_queue.shutdown q;
+  Alcotest.(check int) "all four drained" 4 (Work_queue.completed q);
+  Alcotest.(check int) "nothing left pending" 0 (Work_queue.depth q);
+  check_push "push after shutdown" Work_queue.Stopped (Work_queue.push q "late")
+
 let qsuite name tests = (name, List.map (fun t -> QCheck_alcotest.to_alcotest t) tests)
 
 let () =
@@ -725,5 +864,18 @@ let () =
             test_clock_monotone;
           Alcotest.test_case "elapsed_s spans a sleep" `Quick
             test_clock_elapsed;
+        ] );
+      ( "work-queue",
+        [
+          Alcotest.test_case "untenanted pushes are a global FIFO" `Quick
+            test_wq_untenanted_fifo;
+          Alcotest.test_case "tenant_pending caps one lane" `Quick
+            test_wq_tenant_pending_cap;
+          Alcotest.test_case "tenant_active skips a capped lane" `Quick
+            test_wq_tenant_active_cap;
+          Alcotest.test_case "DRR rotates across tenants" `Quick
+            test_wq_drr_rotation;
+          Alcotest.test_case "shutdown drains then rejects" `Quick
+            test_wq_shutdown_drains;
         ] );
     ]

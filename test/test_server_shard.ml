@@ -1,0 +1,466 @@
+(* Model-based and regression tests for the sharded session registry
+   (DESIGN.md §4j).
+
+   The oracle is a single flat table + one global LRU stamp counter —
+   the semantics the registry documents: budgets enforced in order
+   (tenant sessions, tenant bytes, global budget), victims chosen by
+   globally-minimal recency stamp excluding the entry just created,
+   evicted names tombstoned so lookups answer Was_evicted. Because the
+   registry's stamps come from one global logical clock, a sequential
+   op sequence must produce *identical* observable behavior at every
+   shard count — the property qcheck replays at shards 1, 2 and 8
+   against the model.
+
+   Two companion regressions: solver outputs served through engines at
+   different shard counts are bit-identical (sharding must never leak
+   into paper-visible results), and two session creates on different
+   shards hold their shard critical sections concurrently (the old
+   global registry lock would serialize them). *)
+
+module Json = Ppdc_prelude.Json
+module Rng = Ppdc_prelude.Rng
+module Registry = Ppdc_server.Registry
+module Engine = Ppdc_server.Engine
+
+(* --- reference model ---------------------------------------------------- *)
+
+type mentry = {
+  m_name : string;
+  m_tenant : string;
+  mutable m_value : int;
+  mutable m_bytes : int;
+  mutable m_stamp : int;
+}
+
+type model = {
+  mutable live : mentry list;  (* unordered; stamps order recency *)
+  mutable tombs : string list;
+  mutable clock : int;
+  m_budget : int option;
+  m_tenant_sessions : int option;
+  m_tenant_bytes : int option;
+  mutable m_evicted_budget : int;
+  mutable m_evicted_tenant_sessions : int;
+  mutable m_evicted_tenant_bytes : int;
+}
+
+let model_create ~budget ~tenant_sessions ~tenant_bytes =
+  {
+    live = [];
+    tombs = [];
+    clock = 0;
+    m_budget = budget;
+    m_tenant_sessions = tenant_sessions;
+    m_tenant_bytes = tenant_bytes;
+    m_evicted_budget = 0;
+    m_evicted_tenant_sessions = 0;
+    m_evicted_tenant_bytes = 0;
+  }
+
+let next_stamp m =
+  let s = m.clock in
+  m.clock <- s + 1;
+  s
+
+let m_find_live m name =
+  List.find_opt (fun e -> String.equal e.m_name name) m.live
+
+let m_remove m name =
+  m.live <- List.filter (fun e -> not (String.equal e.m_name name)) m.live;
+  if not (List.mem name m.tombs) then m.tombs <- name :: m.tombs
+
+(* Globally-oldest live entry matching the tenant filter, never the
+   entry just created — the registry's victim_scan over one shared
+   stamp clock. *)
+let m_victim m ?tenant ~keep () =
+  List.fold_left
+    (fun best e ->
+      let matches =
+        (not (String.equal e.m_name keep))
+        && match tenant with
+           | Some tn -> String.equal e.m_tenant tn
+           | None -> true
+      in
+      if not matches then best
+      else
+        match best with
+        | Some b when b.m_stamp <= e.m_stamp -> best
+        | _ -> Some e)
+    None m.live
+
+let m_tenant_usage m tenant =
+  List.fold_left
+    (fun (n, b) e ->
+      if String.equal e.m_tenant tenant then (n + 1, b + e.m_bytes) else (n, b))
+    (0, 0) m.live
+
+let m_enforce m ~tenant ~keep =
+  let evictions = ref [] in
+  let evict_matching ?tenant reason =
+    match m_victim m ?tenant ~keep () with
+    | None -> false
+    | Some v ->
+        m_remove m v.m_name;
+        (match reason with
+        | Registry.Budget -> m.m_evicted_budget <- m.m_evicted_budget + 1
+        | Registry.Tenant_sessions ->
+            m.m_evicted_tenant_sessions <- m.m_evicted_tenant_sessions + 1
+        | Registry.Tenant_bytes ->
+            m.m_evicted_tenant_bytes <- m.m_evicted_tenant_bytes + 1);
+        evictions :=
+          (v.m_name, v.m_tenant, Registry.reason_slug reason) :: !evictions;
+        true
+  in
+  (match m.m_tenant_sessions with
+  | None -> ()
+  | Some cap ->
+      let continue = ref true in
+      while !continue && fst (m_tenant_usage m tenant) > cap do
+        continue := evict_matching ~tenant Registry.Tenant_sessions
+      done);
+  (match m.m_tenant_bytes with
+  | None -> ()
+  | Some cap ->
+      let continue = ref true in
+      while !continue && snd (m_tenant_usage m tenant) > cap do
+        continue := evict_matching ~tenant Registry.Tenant_bytes
+      done);
+  (match m.m_budget with
+  | None -> ()
+  | Some cap ->
+      let continue = ref true in
+      while !continue && List.length m.live > cap do
+        continue := evict_matching Registry.Budget
+      done);
+  List.rev !evictions
+
+let m_put m ~name ~bytes v =
+  let tenant = Registry.tenant_of name in
+  let stamp = next_stamp m in
+  m.tombs <- List.filter (fun n -> not (String.equal n name)) m.tombs;
+  let replaced =
+    match m_find_live m name with
+    | Some e ->
+        e.m_value <- v;
+        e.m_bytes <- bytes;
+        e.m_stamp <- stamp;
+        true
+    | None ->
+        m.live <-
+          { m_name = name; m_tenant = tenant; m_value = v; m_bytes = bytes;
+            m_stamp = stamp }
+          :: m.live;
+        false
+  in
+  (replaced, m_enforce m ~tenant ~keep:name)
+
+let m_find m name =
+  match m_find_live m name with
+  | Some e ->
+      e.m_stamp <- next_stamp m;
+      Printf.sprintf "found=%d" e.m_value
+  | None -> if List.mem name m.tombs then "evicted" else "unknown"
+
+let m_evict m name =
+  match m_find_live m name with
+  | Some _ ->
+      m_remove m name;
+      true
+  | None -> false
+
+(* --- op sequences -------------------------------------------------------- *)
+
+type op = Put of string * int * int | Find of string | Evict of string
+
+let name_pool =
+  Array.of_list
+    ("solo"
+    :: List.concat_map
+         (fun t ->
+           List.map (fun i -> Printf.sprintf "%s-%d" t i) [ 0; 1; 2; 3 ])
+         [ "a"; "b"; "c" ])
+
+let byte_sizes = [| 40; 120; 260 |]
+
+let gen_ops seed =
+  let rng = Rng.create seed in
+  let len = 30 + Rng.int rng 50 in
+  List.init len (fun i ->
+      let name = Rng.pick rng name_pool in
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 -> Put (name, Rng.pick rng byte_sizes, i)
+      | 4 | 5 | 6 | 7 -> Find name
+      | _ -> Evict name)
+
+let format_evictions evs =
+  String.concat ","
+    (List.map (fun (n, t, r) -> Printf.sprintf "%s/%s/%s" n t r) evs)
+
+(* Run the ops and produce a trace of every observable: per-op results
+   plus the final length, live-name set and eviction counters. Model
+   and registry must produce the same trace; registries at different
+   shard counts therefore also agree with each other. *)
+let model_trace ops ~budget ~tenant_sessions ~tenant_bytes =
+  let m = model_create ~budget ~tenant_sessions ~tenant_bytes in
+  let lines =
+    List.map
+      (function
+        | Put (name, bytes, v) ->
+            let replaced, evs = m_put m ~name ~bytes v in
+            Printf.sprintf "put %s -> replaced=%b evicted=[%s]" name replaced
+              (format_evictions evs)
+        | Find name -> Printf.sprintf "find %s -> %s" name (m_find m name)
+        | Evict name -> Printf.sprintf "evict %s -> %b" name (m_evict m name))
+      ops
+  in
+  let names =
+    List.sort String.compare (List.map (fun e -> e.m_name) m.live)
+  in
+  lines
+  @ [
+      Printf.sprintf "length=%d" (List.length m.live);
+      Printf.sprintf "names=[%s]" (String.concat "," names);
+      Printf.sprintf "counters=%d/%d/%d" m.m_evicted_budget
+        m.m_evicted_tenant_sessions m.m_evicted_tenant_bytes;
+    ]
+
+let registry_trace ops ~shards ~budget ~tenant_sessions ~tenant_bytes =
+  let reg : int Registry.t =
+    Registry.create ~shards ?session_budget:budget ?tenant_sessions
+      ?tenant_bytes ()
+  in
+  let lines =
+    List.map
+      (function
+        | Put (name, bytes, v) ->
+            let o = Registry.put reg ~name ~bytes v in
+            Printf.sprintf "put %s -> replaced=%b evicted=[%s]" name
+              o.Registry.replaced
+              (format_evictions
+                 (List.map
+                    (fun e ->
+                      ( e.Registry.victim,
+                        e.Registry.victim_tenant,
+                        Registry.reason_slug e.Registry.reason ))
+                    o.Registry.evicted))
+        | Find name ->
+            Printf.sprintf "find %s -> %s" name
+              (match Registry.find reg name with
+              | Registry.Found v -> Printf.sprintf "found=%d" v
+              | Registry.Was_evicted -> "evicted"
+              | Registry.Unknown -> "unknown")
+        | Evict name ->
+            Printf.sprintf "evict %s -> %b" name (Registry.evict reg name))
+      ops
+  in
+  let names =
+    List.sort String.compare
+      (Registry.fold reg ~init:[] ~f:(fun acc ~name ~tenant:_ _ ->
+           name :: acc))
+  in
+  let sizes = Registry.shard_sizes reg in
+  if Array.fold_left ( + ) 0 sizes <> Registry.length reg then
+    QCheck.Test.fail_reportf "shard sizes do not sum to length";
+  let c = Registry.counters reg in
+  lines
+  @ [
+      Printf.sprintf "length=%d" (Registry.length reg);
+      Printf.sprintf "names=[%s]" (String.concat "," names);
+      Printf.sprintf "counters=%d/%d/%d" c.Registry.evicted_budget
+        c.Registry.evicted_tenant_sessions c.Registry.evicted_tenant_bytes;
+    ]
+
+let seed_gen = QCheck.int_bound 1_000_000
+
+let model_test =
+  QCheck.Test.make ~name:"registry matches flat-table model at shards 1/2/8"
+    ~count:150 seed_gen (fun seed ->
+      let ops = gen_ops seed in
+      let budget = Some 6
+      and tenant_sessions = Some 2
+      and tenant_bytes = Some 300 in
+      let expected = model_trace ops ~budget ~tenant_sessions ~tenant_bytes in
+      List.for_all
+        (fun shards ->
+          let got =
+            registry_trace ops ~shards ~budget ~tenant_sessions ~tenant_bytes
+          in
+          if got <> expected then
+            QCheck.Test.fail_reportf
+              "shards=%d diverged from model (seed %d):\n%s"
+              shards seed
+              (String.concat "\n"
+                 (List.concat_map
+                    (fun (e, g) ->
+                      if String.equal e g then []
+                      else [ Printf.sprintf "  model: %s\n  reg:   %s" e g ])
+                    (List.combine expected got)))
+          else true)
+        [ 1; 2; 8 ])
+
+(* Unbudgeted run: no evictions ever, every find hits, and the three
+   shard counts agree — the degenerate case that proves budgets are
+   the only eviction source. *)
+let unbudgeted_test =
+  QCheck.Test.make ~name:"unbudgeted registry never evicts" ~count:50 seed_gen
+    (fun seed ->
+      let ops = gen_ops seed in
+      let expected =
+        model_trace ops ~budget:None ~tenant_sessions:None ~tenant_bytes:None
+      in
+      List.for_all
+        (fun shards ->
+          registry_trace ops ~shards ~budget:None ~tenant_sessions:None
+            ~tenant_bytes:None
+          = expected)
+        [ 1; 2; 8 ])
+
+(* --- solver determinism across shard counts ------------------------------ *)
+
+let expect_ok line =
+  let j = Json.parse line in
+  match (Json.member "ok" j, Json.member "result" j) with
+  | Some (Json.Bool true), Some r -> r
+  | _ -> Alcotest.failf "expected ok response, got: %s" line
+
+let member_exn j key =
+  match Json.member key j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s in %s" key (Json.to_string j)
+
+(* Paper-visible solver outputs; timing fields (elapsed_ms, cache_hit)
+   legitimately differ between runs. *)
+let deterministic_fields = function
+  | "place" -> [ "algo"; "placement"; "cost" ]
+  | "migrate" ->
+      [ "algo"; "placement"; "moved"; "migration_cost"; "comm_cost";
+        "total_cost" ]
+  | "load_topology" -> [ "session"; "tenant"; "hosts"; "flows"; "digest" ]
+  | _ -> []
+
+let determinism_script =
+  [
+    ( "load_topology",
+      {|{"id":1,"method":"load_topology","params":{"session":"a-0","k":4,"l":6,"n":3,"seed":1}}|}
+    );
+    ( "load_topology",
+      {|{"id":2,"method":"load_topology","params":{"session":"b-0","k":4,"l":6,"n":3,"seed":2}}|}
+    );
+    ( "load_topology",
+      {|{"id":3,"method":"load_topology","params":{"session":"c-0","k":4,"l":4,"n":2,"seed":3}}|}
+    );
+    ("place", {|{"id":4,"method":"place","params":{"session":"a-0"}}|});
+    ( "place",
+      {|{"id":5,"method":"place","params":{"session":"b-0","algo":"dp"}}|} );
+    ( "migrate",
+      {|{"id":6,"method":"migrate","params":{"session":"a-0","mu":100}}|} );
+    ( "rates_update",
+      {|{"id":7,"method":"rates_update","params":{"session":"c-0","seed":9}}|}
+    );
+    ("place", {|{"id":8,"method":"place","params":{"session":"c-0"}}|});
+    ( "migrate",
+      {|{"id":9,"method":"migrate","params":{"session":"c-0","algo":"mpareto","mu":100}}|}
+    );
+  ]
+
+let test_solver_outputs_shard_independent () =
+  let run shards =
+    let e = Engine.create ~shards () in
+    List.map (fun (meth, req) -> (meth, Engine.handle_line e req))
+      determinism_script
+  in
+  let reference = run 1 in
+  List.iter
+    (fun shards ->
+      let got = run shards in
+      List.iter2
+        (fun (meth, ref_line) (_, got_line) ->
+          let ref_result = expect_ok ref_line
+          and got_result = expect_ok got_line in
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "shards=%d %s.%s bit-identical" shards meth key)
+                true
+                (Json.equal
+                   (member_exn ref_result key)
+                   (member_exn got_result key)))
+            (deterministic_fields meth))
+        reference got)
+    [ 2; 8 ]
+
+(* --- concurrent creates on distinct shards -------------------------------- *)
+
+(* Regression: session construction happens outside the shard critical
+   section, and shard locks are per-shard — so two creates whose names
+   hash to different shards must both be able to sit inside their shard
+   critical sections at the same time. The registry test hook runs
+   under the shard lock of every put; blocking in it until *both*
+   creates arrive proves the sections overlap (the old single
+   registry-wide mutex would deadlock this barrier, which the timeout
+   converts into a clean failure). *)
+let test_concurrent_creates_distinct_shards () =
+  let probe : int Registry.t = Registry.create ~shards:2 () in
+  let pick_name shard =
+    let rec go i =
+      if i > 1000 then Alcotest.fail "no name found for shard"
+      else
+        let name = Printf.sprintf "t%d-s%d" shard i in
+        if Registry.shard_id probe name = shard then name else go (i + 1)
+    in
+    go 0
+  in
+  let name0 = pick_name 0 and name1 = pick_name 1 in
+  let engine = Engine.create ~shards:2 () in
+  let arrived = Atomic.make 0 in
+  let proceed = Atomic.make false in
+  let both_inside = Atomic.make false in
+  Engine.set_registry_test_hook engine
+    (Some
+       (fun _name ->
+         Atomic.incr arrived;
+         let t0 = Unix.gettimeofday () in
+         while
+           (not (Atomic.get proceed)) && Unix.gettimeofday () -. t0 < 5.0
+         do
+           if Atomic.get arrived >= 2 then Atomic.set both_inside true;
+           Domain.cpu_relax ()
+         done));
+  let load name =
+    Domain.spawn (fun () ->
+        Engine.handle_line engine
+          (Printf.sprintf
+             {|{"id":"%s","method":"load_topology","params":{"session":"%s","k":4,"l":4,"n":2,"seed":1}}|}
+             name name))
+  in
+  let d0 = load name0 and d1 = load name1 in
+  let t0 = Unix.gettimeofday () in
+  while (not (Atomic.get both_inside)) && Unix.gettimeofday () -. t0 < 5.0 do
+    Unix.sleepf 0.002
+  done;
+  Atomic.set proceed true;
+  let r0 = Domain.join d0 and r1 = Domain.join d1 in
+  Engine.set_registry_test_hook engine None;
+  ignore (expect_ok r0);
+  ignore (expect_ok r1);
+  Alcotest.(check bool)
+    "both creates were inside their shard critical sections concurrently"
+    true (Atomic.get both_inside)
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+
+let () =
+  Alcotest.run "ppdc_server_shard"
+    [
+      ("model", qsuite [ model_test; unbudgeted_test ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "solver outputs identical at shards 1/2/8"
+            `Quick test_solver_outputs_shard_independent;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "creates on distinct shards overlap" `Quick
+            test_concurrent_creates_distinct_shards;
+        ] );
+    ]

@@ -8,6 +8,7 @@
 module Json = Ppdc_prelude.Json
 module Obs = Ppdc_prelude.Obs
 module Engine = Ppdc_server.Engine
+module Registry = Ppdc_server.Registry
 module Transport = Ppdc_server.Transport
 
 (* --- response helpers ------------------------------------------------- *)
@@ -49,11 +50,20 @@ let sock_path name =
     (Printf.sprintf "ppdc-%d-%s.sock" (Unix.getpid ()) name)
 
 (* Boot a daemon in its own domain, wait for the listener (on_ready),
-   and guarantee shutdown + join however the test body exits. *)
-let with_server ?workers ?max_pending ?request_timeout name f =
+   and guarantee shutdown + join however the test body exits. The
+   engine options feed the registry budgets/fairness caps for the
+   eviction and fairness choreographies. *)
+let with_server ?workers ?max_pending ?request_timeout ?engine ?shards
+    ?session_budget ?tenant_sessions ?tenant_bytes ?tenant_inflight name f =
   let path = sock_path name in
   (try Sys.remove path with Sys_error _ -> ());
-  let engine = Engine.create ~cache_capacity:4 () in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        Engine.create ~cache_capacity:4 ?shards ?session_budget
+          ?tenant_sessions ?tenant_bytes ?tenant_inflight ()
+  in
   let ready = Atomic.make false in
   let srv =
     Domain.spawn (fun () ->
@@ -302,6 +312,212 @@ let test_queue_wait_deadline () =
        (num_field (member_exn stats "requests") "deadline_exceeded"));
   Unix.close b
 
+(* --- eviction choreography ---------------------------------------------- *)
+
+(* Deterministic LRU eviction under a per-tenant session cap: filling
+   tenant "t" past tenant_sessions=2 must evict exactly its
+   least-recently-used session, announce the victim in the create's
+   response, answer later requests for the victim with session_evicted
+   (id echoed), and keep serving the survivors. *)
+let test_tenant_session_eviction () =
+  with_server ~workers:1 ~tenant_sessions:2 "evict" @@ fun path ->
+  let load s =
+    Printf.sprintf
+      {|{"id":"load-%s","method":"load_topology","params":{"session":"%s","k":4,"l":4,"n":2,"seed":1}}|}
+      s s
+  in
+  let place ~id s =
+    Printf.sprintf {|{"id":"%s","method":"place","params":{"session":"%s"}}|}
+      id s
+  in
+  let responses =
+    Transport.call ~timeout:60.0 ~path
+      [
+        load "t-a"; load "t-b"; load "t-c";
+        place ~id:"victim" "t-a";
+        place ~id:"b-ok" "t-b"; place ~id:"c-ok" "t-c";
+        {|{"id":"st","method":"stats"}|};
+      ]
+  in
+  match responses with
+  | [ ra; rb; rc; victim; b_ok; c_ok; st ] ->
+      ignore (expect_ok ra);
+      ignore (expect_ok rb);
+      (* The third create pushes tenant "t" to 3 > 2: its LRU session
+         (t-a, the oldest stamp) is announced as the victim. *)
+      let rc = expect_ok rc in
+      (match member_exn rc "evicted" with
+      | Json.List [ ev ] ->
+          Alcotest.(check bool)
+            "t-a is the announced victim" true
+            (Json.equal (Json.Str "t-a") (member_exn ev "session"));
+          Alcotest.(check bool)
+            "eviction reason is the tenant session cap" true
+            (Json.equal (Json.Str "tenant_sessions") (member_exn ev "reason"))
+      | other ->
+          Alcotest.failf "expected exactly one eviction, got %s"
+            (Json.to_string other));
+      (* The evicted session answers with the structured code and the
+         request's own id — a client can tell eviction from typo. *)
+      Alcotest.(check string)
+        "session_evicted code" "session_evicted" (expect_error victim);
+      Alcotest.(check bool)
+        "evicted answer echoes the request id" true
+        (Json.equal (Json.Str "victim") (response_id victim));
+      (* Service continues for the survivors. *)
+      ignore (expect_ok b_ok);
+      ignore (expect_ok c_ok);
+      let stats = expect_ok st in
+      let registry = member_exn stats "registry" in
+      Alcotest.(check int)
+        "registry.sessions" 2
+        (int_of_float (num_field registry "sessions"));
+      Alcotest.(check int)
+        "one tenant_sessions eviction counted" 1
+        (int_of_float
+           (num_field (member_exn registry "evictions") "tenant_sessions"));
+      Alcotest.(check int)
+        "one evicted answer counted" 1
+        (int_of_float (num_field registry "evicted_answers"))
+  | rs -> Alcotest.failf "expected 7 responses, got %d" (List.length rs)
+
+(* --- two-tenant fairness choreography ------------------------------------ *)
+
+(* Deterministic fairness: while one noisy request is provably inside
+   its handler (the registry put hook parks it, holding the tenant's
+   single in-flight slot), a second noisy request must be rejected with
+   a structured overloaded answer, and a quiet tenant sharing the pool
+   must keep being served ok with a bounded wait. No race: the second
+   request is only sent after the hook reports the first one in. *)
+let test_noisy_tenant_fairness () =
+  (* The parked put holds its session's shard lock. Everything that
+     must proceed (or fail fast) while it is parked takes other shard
+     locks: enter_tenant locks the *tenant's home shard* (both for the
+     rejected noisy request and for the quiet tenant), and the quiet
+     create locks the quiet session's shard. Probe the stable hash for
+     names that keep all of those off the parked shard. *)
+  let probe : unit Registry.t = Registry.create ~shards:8 () in
+  let noisy_name =
+    let rec pick i =
+      if i > 25 then Alcotest.fail "no noisy session off its home shard"
+      else
+        let name = Printf.sprintf "noisy-%c" (Char.chr (Char.code 'a' + i)) in
+        if Registry.shard_id probe name <> Registry.shard_id probe "noisy" then
+          name
+        else pick (i + 1)
+    in
+    pick 0
+  in
+  let parked_shard = Registry.shard_id probe noisy_name in
+  let quiet_name =
+    let tenants = [ "quiet"; "calm"; "idle"; "tame" ] in
+    let rec pick = function
+      | [] -> Alcotest.fail "no quiet session off the parked shard"
+      | (tenant, i) :: rest ->
+          let name = Printf.sprintf "%s-%c" tenant (Char.chr (Char.code 'a' + i)) in
+          if
+            Registry.shard_id probe tenant <> parked_shard
+            && Registry.shard_id probe name <> parked_shard
+          then name
+          else pick rest
+    in
+    pick
+      (List.concat_map
+         (fun tenant -> List.init 26 (fun i -> (tenant, i)))
+         tenants)
+  in
+  let engine =
+    Engine.create ~cache_capacity:4 ~shards:8 ~tenant_inflight:1 ()
+  in
+  let inside = Atomic.make false and release = Atomic.make false in
+  Engine.set_registry_test_hook engine
+    (Some
+       (fun name ->
+         if String.equal (Registry.tenant_of name) "noisy" then begin
+           Atomic.set inside true;
+           let deadline = Unix.gettimeofday () +. 10.0 in
+           while
+             (not (Atomic.get release))
+             && Float.compare (Unix.gettimeofday ()) deadline < 0
+           do
+             Unix.sleepf 0.002
+           done
+         end));
+  with_server ~engine ~workers:3 "fairness" @@ fun path ->
+  let load ~id s =
+    Printf.sprintf
+      {|{"id":"%s","method":"load_topology","params":{"session":"%s","k":4,"l":4,"n":2,"seed":1}}|}
+      id s
+  in
+  let a = connect path in
+  let b = connect path in
+  let q = connect path in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set release true;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b; q ])
+  @@ fun () ->
+  (* Park the noisy tenant's first request inside its handler. *)
+  send_line a (load ~id:"n1" noisy_name);
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (not (Atomic.get inside))
+    && Float.compare (Unix.gettimeofday ()) deadline < 0
+  do
+    Unix.sleepf 0.002
+  done;
+  if not (Atomic.get inside) then
+    Alcotest.fail "noisy request never reached its handler";
+  (* The tenant is now pinned at its in-flight cap of 1: a second noisy
+     request must bounce with the structured overloaded answer. *)
+  (* Rejected at the admission gate, before any registry lock: only the
+     tenant prefix matters, the session never gets created. *)
+  send_line b (load ~id:"n2" "noisy-second");
+  let rejected_line = recv_line b in
+  Alcotest.(check string)
+    "second noisy request rejected" "overloaded" (expect_error rejected_line);
+  Alcotest.(check bool)
+    "rejection echoes the request id" true
+    (Json.equal (Json.Str "n2") (response_id rejected_line));
+  (* Meanwhile the quiet tenant keeps being served: the fairness cap —
+     not a saturated pool — absorbed the noisy burst. Waits measured
+     while the noisy handler is still parked. *)
+  let quiet_waits =
+    List.map
+      (fun req ->
+        let t0 = Unix.gettimeofday () in
+        send_line q req;
+        ignore (expect_ok (recv_line q));
+        Unix.gettimeofday () -. t0)
+      [
+        load ~id:"q0" quiet_name;
+        Printf.sprintf
+          {|{"id":"q1","method":"place","params":{"session":"%s"}}|}
+          quiet_name;
+        Printf.sprintf
+          {|{"id":"q2","method":"place","params":{"session":"%s"}}|}
+          quiet_name;
+      ]
+  in
+  let worst = List.fold_left Float.max 0.0 quiet_waits in
+  Alcotest.(check bool)
+    (Printf.sprintf "quiet tenant waits bounded (worst %.3fs)" worst)
+    true (Float.compare worst 5.0 < 0);
+  (* Release the parked handler: the noisy tenant recovers and is
+     served normally once its slot frees up. *)
+  Atomic.set release true;
+  ignore (expect_ok (recv_line a));
+  send_line a
+    (Printf.sprintf {|{"id":"n3","method":"place","params":{"session":"%s"}}|}
+       noisy_name);
+  ignore (expect_ok (recv_line a));
+  send_line q {|{"id":"st","method":"stats"}|};
+  let stats = expect_ok (recv_line q) in
+  let fairness = member_exn stats "fairness" in
+  Alcotest.(check bool)
+    "fairness.rejections counted" true
+    (int_of_float (num_field fairness "rejections") >= 1)
+
 (* --- socket-file cleanup on accept-loop exception ----------------------- *)
 
 let test_socket_cleanup_on_exception () =
@@ -384,6 +600,15 @@ let () =
             `Quick test_overload_rejection;
           Alcotest.test_case "queue wait past --request-timeout answers \
                               deadline_exceeded" `Quick test_queue_wait_deadline;
+        ] );
+      ( "tenancy",
+        [
+          Alcotest.test_case
+            "tenant session cap evicts LRU and answers session_evicted"
+            `Quick test_tenant_session_eviction;
+          Alcotest.test_case
+            "noisy tenant is rejected, quiet tenant keeps being served"
+            `Quick test_noisy_tenant_fairness;
         ] );
       ( "regressions",
         [
